@@ -1,0 +1,39 @@
+"""Figure 2: probe delivery and rule overhead during an update.
+
+Regenerates both panels of the overview experiment on the Figure 1
+mini-datacenter: (a) fraction of probes delivered over time for the naive,
+two-phase, and synthesized ordering updates; (b) per-switch rule overhead
+for two-phase vs ordering.
+
+Expected shapes (paper): the naive update has a window of 100% loss; the
+ordering and two-phase updates lose nothing; two-phase doubles rules on
+several switches while ordering stays at 1x.
+"""
+
+from repro.bench import experiments
+from repro.bench.report import format_series, format_table
+
+
+def test_fig2a_probe_delivery(once):
+    series = once(experiments.fig2a_probe_series)
+    print()
+    for strategy, points in series.items():
+        print(format_series(f"Fig 2(a) probes received — {strategy}", points))
+    # shape assertions
+    naive_min = min(frac for _, frac in series["naive"])
+    assert naive_min < 1.0, "naive update should lose probes"
+    assert all(frac == 1.0 for _, frac in series["ordering"][:-1])
+    assert all(frac == 1.0 for _, frac in series["two-phase"][:-1])
+
+
+def test_fig2b_rule_overhead(once):
+    overhead = once(experiments.fig2b_rule_overhead)
+    print()
+    switches = sorted(set(overhead["two-phase"]) | set(overhead["ordering"]))
+    rows = [
+        (sw, overhead["two-phase"].get(sw, 0.0), overhead["ordering"].get(sw, 0.0))
+        for sw in switches
+    ]
+    print(format_table("Fig 2(b) rule overhead", ["switch", "two-phase", "ordering"], rows))
+    assert max(overhead["two-phase"].values()) >= 2.0
+    assert max(overhead["ordering"].values()) <= 1.0

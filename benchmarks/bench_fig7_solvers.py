@@ -1,0 +1,70 @@
+"""Figure 7(a-c): Incremental vs Batch vs automaton ("NuSMV") backends.
+
+One benchmark per topology family (Topology Zoo, fat-tree, small-world),
+each synthesizing reachability-preserving diamond updates with all three
+checker backends and reporting the per-scenario runtimes plus the
+geometric-mean speedup of Incremental over the others.
+
+Expected shapes (paper): Incremental wins on every input, by a widening
+margin as instances grow; the monolithic automaton backend is the slowest
+(the paper's NuSMV gap is orders of magnitude on testbed-scale inputs).
+"""
+
+import math
+
+from repro.bench import experiments
+from repro.bench.report import format_table
+
+BACKENDS = ("incremental", "batch", "automaton", "symbolic")
+
+
+def _report(title, rows, means):
+    print()
+    print(
+        format_table(
+            title,
+            ["scenario", "switches"] + list(BACKENDS),
+            [
+                (r.name, r.switches, *(r.seconds.get(b, float("nan")) for b in BACKENDS))
+                for r in rows
+            ],
+        )
+    )
+    print("geomean speedups:", {k: round(v, 2) for k, v in means.items()})
+
+
+def _assert_incremental_wins_at_scale(rows, means):
+    # at the largest instances the incremental backend must win
+    big = max(rows, key=lambda r: r.switches)
+    assert big.seconds["incremental"] <= big.seconds["batch"]
+    assert big.seconds["incremental"] <= big.seconds["automaton"]
+    assert big.seconds["incremental"] <= big.seconds["symbolic"]
+    assert means["incremental_vs_automaton"] >= 1.0
+    # the symbolic ("NuSMV") backend loses by a large factor at scale
+    assert means["incremental_vs_symbolic"] >= 5.0
+
+
+def test_fig7a_topology_zoo(once):
+    rows, means = once(experiments.fig7_solvers, "zoo")
+    _report("Fig 7(a) Topology Zoo (reachability)", rows, means)
+    assert len(rows) >= 4
+    assert means["incremental_vs_automaton"] >= 0.5  # small WANs: modest gaps
+
+
+def test_fig7b_fattree(once):
+    rows, means = once(experiments.fig7_solvers, "fattree", sizes=(4, 6, 8))
+    _report("Fig 7(b) FatTree (reachability)", rows, means)
+    assert len(rows) == 3
+
+
+def test_fig7c_smallworld(once):
+    rows, means = once(
+        experiments.fig7_solvers, "smallworld", sizes=(40, 80, 160, 240)
+    )
+    _report("Fig 7(c) Small-World (reachability)", rows, means)
+    _assert_incremental_wins_at_scale(rows, means)
+    # the gap should widen with size (crossover shape)
+    small, big = rows[0], rows[-1]
+    gap_small = small.seconds["symbolic"] / small.seconds["incremental"]
+    gap_big = big.seconds["symbolic"] / big.seconds["incremental"]
+    assert gap_big > gap_small

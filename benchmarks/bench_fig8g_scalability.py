@@ -1,0 +1,47 @@
+"""Figure 8(g): synthesis scalability in problem size, three properties.
+
+Large diamond updates (ring diamonds for reachability; chained diamonds for
+waypointing and service chaining, whose articulation waypoints survive every
+intermediate configuration), synthesized with the incremental backend.
+
+Expected shapes (paper, at 1015 updating switches): reachability is cheap
+(<1s there, scaled here), waypointing mid, service chaining most expensive;
+runtime grows superlinearly but remains tractable.
+"""
+
+from repro.bench import experiments
+from repro.bench.report import format_table
+
+
+def test_fig8g_scaling(once):
+    rows = once(
+        experiments.fig8g_scaling,
+        sizes=(20, 40, 80, 160),
+        props=("reachability", "waypoint", "chain"),
+    )
+    print()
+    print(
+        format_table(
+            "Fig 8(g) scalability (incremental backend)",
+            ["property", "switches", "updates", "seconds", "waits kept"],
+            [(r.prop, r.switches, r.updates, r.seconds, r.waits_after) for r in rows],
+        )
+    )
+    by_prop = {}
+    for row in rows:
+        by_prop.setdefault(row.prop, []).append(row)
+    # every property completes, runtime grows with size
+    for prop, prop_rows in by_prop.items():
+        assert prop_rows[-1].seconds < 300
+    # the richer the property, the costlier the largest instance
+    biggest = {p: max(r.seconds for r in rs) for p, rs in by_prop.items()}
+    assert biggest["chain"] >= biggest["reachability"] * 0.5
+    # wait removal: plain (ring) diamonds keep ~1-2 waits as in the paper;
+    # chained diamonds keep about one *necessary* wait per articulation
+    # waypoint (traffic always flows through them), still removing the
+    # overwhelming majority overall
+    waits = experiments.waits_summary(rows)
+    print("waits summary:", waits)
+    for row in by_prop["reachability"]:
+        assert row.waits_after <= 2
+    assert waits["removed_fraction"] > 0.8

@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Each benchmark file regenerates one of the paper's tables/figures and prints
+the corresponding rows/series (captured with ``pytest -s`` or in the
+benchmark summary).  Benchmarks run each driver once per round: the drivers
+are macro-benchmarks (whole synthesis runs), so statistical repetition comes
+from the scenario sweep inside each driver rather than from re-running it.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once per measurement."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return run

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Service chaining across a WAN migration (§6 properties on a real topology).
+
+A business migrates its traffic between egress paths on the Abilene
+backbone while a compliance rule requires every packet from Seattle to
+Atlanta to traverse the Denver IDS and then the Kansas City firewall, in
+that order (a service chain), during the whole migration.
+
+The example also demonstrates infeasibility reporting: a stricter chain that
+the final configuration itself cannot satisfy is rejected immediately.
+
+Run:  python examples/firewall_migration.py
+"""
+
+from repro import Configuration, TrafficClass, UpdateSynthesizer, specs
+from repro.errors import UpdateInfeasibleError
+from repro.topo import zoo_topology
+
+
+def main() -> None:
+    topo = zoo_topology("Abilene")
+    topo.add_host("Hsea")
+    topo.add_link("SEA", "Hsea")
+    topo.add_host("Hatl")
+    topo.add_link("ATL", "Hatl")
+
+    tc = TrafficClass.make("sea_to_atl", src="Hsea", dst="Hatl")
+
+    # both paths pass DEN then KSC (the IDS/firewall chain)
+    path_via_hou = ["Hsea", "SEA", "DEN", "KSC", "HOU", "ATL", "Hatl"]
+    path_via_ind = ["Hsea", "SEA", "DEN", "KSC", "IND", "ATL", "Hatl"]
+    init = Configuration.from_paths(topo, {tc: path_via_hou})
+    final = Configuration.from_paths(topo, {tc: path_via_ind})
+
+    chain = specs.service_chain(tc, ["DEN", "KSC"], "Hatl")
+    print(f"Specification: {chain}\n")
+
+    synth = UpdateSynthesizer(topo)
+    plan = synth.synthesize(init, final, chain, {tc: ["Hsea"]})
+    print(f"Synthesized plan: {plan}")
+    print(plan.summary())
+
+    # --- an impossible requirement is detected, not silently violated -----
+    impossible = specs.service_chain(tc, ["KSC", "DEN"], "Hatl")  # wrong order
+    try:
+        synth.synthesize(init, final, impossible, {tc: ["Hsea"]})
+        raise AssertionError("should have been infeasible")
+    except UpdateInfeasibleError as err:
+        print(f"\nReversed chain correctly rejected: {err}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: allows ``pip install -e . --no-use-pep517`` in offline
+environments that lack the ``wheel`` package required by PEP 660 editable
+installs.  All real metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

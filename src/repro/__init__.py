@@ -1,0 +1,88 @@
+"""repro — Efficient Synthesis of Network Updates (PLDI 2015).
+
+A from-scratch reproduction of McClurg, Hojjat, Černý & Foster's network
+update synthesizer: given initial and final SDN configurations and an LTL
+invariant, synthesize an ordering of per-switch updates (with ``wait``
+barriers) under which every intermediate configuration satisfies the
+invariant.
+
+Quickstart::
+
+    from repro import (
+        Topology, Configuration, TrafficClass, UpdateSynthesizer, specs,
+    )
+
+    topo = Topology()
+    ...
+    synth = UpdateSynthesizer(topo)
+    plan = synth.synthesize(init, final, spec, {tc: ["H1"]})
+    print(plan.summary())
+
+See ``examples/`` for runnable end-to-end scenarios and ``DESIGN.md`` for
+the architecture map.
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    ForwardingLoopError,
+    ModelCheckError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    SynthesisTimeout,
+    TopologyError,
+    UpdateInfeasibleError,
+)
+from repro.ltl import parse, specs
+from repro.net import (
+    Configuration,
+    Forward,
+    Packet,
+    Pattern,
+    Rule,
+    SetField,
+    SwitchUpdate,
+    Table,
+    Topology,
+    TrafficClass,
+    Wait,
+    path_rules,
+)
+from repro.synthesis import UpdatePlan, UpdateSynthesizer, order_update, remove_waits
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "TopologyError",
+    "ConfigurationError",
+    "ParseError",
+    "ModelCheckError",
+    "ForwardingLoopError",
+    "UpdateInfeasibleError",
+    "SynthesisTimeout",
+    "SimulationError",
+    # net
+    "Topology",
+    "Configuration",
+    "TrafficClass",
+    "Packet",
+    "Pattern",
+    "Rule",
+    "Table",
+    "Forward",
+    "SetField",
+    "SwitchUpdate",
+    "Wait",
+    "path_rules",
+    # ltl
+    "parse",
+    "specs",
+    # synthesis
+    "UpdateSynthesizer",
+    "UpdatePlan",
+    "order_update",
+    "remove_waits",
+]

@@ -1,0 +1,11 @@
+"""Reduced Ordered Binary Decision Diagrams (ROBDDs).
+
+The substrate for the symbolic ("NuSMV"-style) model-checking backend
+(:mod:`repro.mc.symbolic`): hash-consed BDD nodes with the standard
+apply/ite algorithms, existential quantification, variable substitution, and
+satisfiability helpers.
+"""
+
+from repro.bdd.bdd import BDD, FALSE_NODE, TRUE_NODE
+
+__all__ = ["BDD", "TRUE_NODE", "FALSE_NODE"]

@@ -1,0 +1,286 @@
+"""A reduced ordered BDD package with hash-consing and memoized apply.
+
+Nodes are integers: ``0`` is the FALSE terminal, ``1`` the TRUE terminal,
+and every internal node is an index into the manager's node table holding
+``(level, low, high)`` triples (``level`` is the variable's position in the
+fixed order; smaller levels are tested first).  Reduction invariants:
+
+* no node with ``low == high`` (eliminated on creation);
+* no two nodes with identical ``(level, low, high)`` (unique table).
+
+The manager provides the classic operations — ``ite``, ``apply``-style
+conjunction/disjunction, negation, existential quantification over variable
+sets, variable-to-variable substitution (for priming/unpriming state
+variables in transition relations), satisfiability checks, model extraction,
+and model counting — all memoized per manager.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+FALSE_NODE = 0
+TRUE_NODE = 1
+
+
+class BDD:
+    """A BDD manager over variables ``0 .. num_vars-1`` (order = index)."""
+
+    def __init__(self, num_vars: int):
+        if num_vars < 0:
+            raise ValueError("number of variables must be non-negative")
+        self.num_vars = num_vars
+        # node table; indices 0/1 reserved for terminals (levels beyond all)
+        self._level: List[int] = [num_vars, num_vars]
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._exists_cache: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        self._subst_cache: Dict[Tuple[int, Tuple[Tuple[int, int], ...]], int] = {}
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def var(self, index: int) -> int:
+        """The BDD for variable ``index``."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable {index} out of range")
+        return self._mk(index, FALSE_NODE, TRUE_NODE)
+
+    def nvar(self, index: int) -> int:
+        """The BDD for the negation of variable ``index``."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable {index} out of range")
+        return self._mk(index, TRUE_NODE, FALSE_NODE)
+
+    @property
+    def true(self) -> int:
+        return TRUE_NODE
+
+    @property
+    def false(self) -> int:
+        return FALSE_NODE
+
+    def node_count(self) -> int:
+        return len(self._level)
+
+    # ------------------------------------------------------------------
+    # core: if-then-else
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """``if f then g else h`` — the universal connective."""
+        if f == TRUE_NODE:
+            return g
+        if f == FALSE_NODE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE_NODE and h == FALSE_NODE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+
+        def cofactor(node: int, branch: bool) -> int:
+            if self._level[node] != level:
+                return node
+            return self._high[node] if branch else self._low[node]
+
+        high = self.ite(cofactor(f, True), cofactor(g, True), cofactor(h, True))
+        low = self.ite(cofactor(f, False), cofactor(g, False), cofactor(h, False))
+        result = self._mk(level, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # boolean connectives
+    # ------------------------------------------------------------------
+    def conj(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE_NODE)
+
+    def disj(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE_NODE, g)
+
+    def neg(self, f: int) -> int:
+        return self.ite(f, FALSE_NODE, TRUE_NODE)
+
+    def xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.neg(g), g)
+
+    def iff(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.neg(g))
+
+    def implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, TRUE_NODE)
+
+    def conj_all(self, nodes: Iterable[int]) -> int:
+        acc = TRUE_NODE
+        for node in nodes:
+            acc = self.conj(acc, node)
+            if acc == FALSE_NODE:
+                return FALSE_NODE
+        return acc
+
+    def disj_all(self, nodes: Iterable[int]) -> int:
+        acc = FALSE_NODE
+        for node in nodes:
+            acc = self.disj(acc, node)
+            if acc == TRUE_NODE:
+                return TRUE_NODE
+        return acc
+
+    def cube(self, assignment: Sequence[Tuple[int, bool]]) -> int:
+        """The conjunction of literals ``var=value`` (a minterm cube)."""
+        acc = TRUE_NODE
+        for var, value in sorted(assignment, reverse=True):
+            lit = self.var(var) if value else self.nvar(var)
+            acc = self.conj(lit, acc)
+        return acc
+
+    # ------------------------------------------------------------------
+    # quantification and substitution
+    # ------------------------------------------------------------------
+    def exists(self, f: int, variables: Iterable[int]) -> int:
+        """Existential quantification over ``variables``."""
+        var_set = tuple(sorted(set(variables)))
+        if not var_set:
+            return f
+        return self._exists(f, var_set)
+
+    def _exists(self, f: int, variables: Tuple[int, ...]) -> int:
+        if f in (TRUE_NODE, FALSE_NODE):
+            return f
+        level = self._level[f]
+        remaining = tuple(v for v in variables if v >= level)
+        if not remaining:
+            return f
+        key = (f, remaining)
+        cached = self._exists_cache.get(key)
+        if cached is not None:
+            return cached
+        low = self._exists(self._low[f], remaining)
+        high = self._exists(self._high[f], remaining)
+        if level in remaining:
+            result = self.disj(low, high)
+        else:
+            result = self._mk(level, low, high)
+        self._exists_cache[key] = result
+        return result
+
+    def forall(self, f: int, variables: Iterable[int]) -> int:
+        return self.neg(self.exists(self.neg(f), variables))
+
+    def rename(self, f: int, mapping: Dict[int, int]) -> int:
+        """Substitute variables per ``mapping`` (must be order-compatible).
+
+        Used to swap current-state and next-state variables; with the
+        interleaved variable order used by the symbolic checker the mapping
+        is level-adjacent, which keeps this a simple recursive rebuild.
+        """
+        items = tuple(sorted(mapping.items()))
+        if not items:
+            return f
+        return self._rename(f, items, dict(mapping))
+
+    def _rename(self, f: int, key_items: Tuple[Tuple[int, int], ...], mapping: Dict[int, int]) -> int:
+        if f in (TRUE_NODE, FALSE_NODE):
+            return f
+        key = (f, key_items)
+        cached = self._subst_cache.get(key)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        low = self._rename(self._low[f], key_items, mapping)
+        high = self._rename(self._high[f], key_items, mapping)
+        target = mapping.get(level, level)
+        # rebuild via ite on the target variable to restore ordering
+        result = self.ite(self.var(target), high, low)
+        self._subst_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_false(self, f: int) -> bool:
+        return f == FALSE_NODE
+
+    def is_true(self, f: int) -> bool:
+        return f == TRUE_NODE
+
+    def evaluate(self, f: int, assignment: Sequence[bool]) -> bool:
+        """Evaluate under a total assignment (index = variable)."""
+        node = f
+        while node not in (TRUE_NODE, FALSE_NODE):
+            level = self._level[node]
+            node = self._high[node] if assignment[level] else self._low[node]
+        return node == TRUE_NODE
+
+    def any_model(self, f: int) -> Optional[Dict[int, bool]]:
+        """Some satisfying partial assignment, or None if unsatisfiable."""
+        if f == FALSE_NODE:
+            return None
+        model: Dict[int, bool] = {}
+        node = f
+        while node != TRUE_NODE:
+            level = self._level[node]
+            if self._low[node] != FALSE_NODE:
+                model[level] = False
+                node = self._low[node]
+            else:
+                model[level] = True
+                node = self._high[node]
+        return model
+
+    def count_models(self, f: int) -> int:
+        """Number of total assignments satisfying ``f``."""
+        memo: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            # models over variables at levels >= level(node)
+            if node == FALSE_NODE:
+                return 0
+            if node == TRUE_NODE:
+                return 1 << 0
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level = self._level[node]
+            low, high = self._low[node], self._high[node]
+            low_count = walk(low) << (self._level[low] - level - 1)
+            high_count = walk(high) << (self._level[high] - level - 1)
+            result = low_count + high_count
+            memo[node] = result
+            return result
+
+        return walk(f) << self._level[f] if f != FALSE_NODE else 0
+
+    def support(self, f: int) -> Tuple[int, ...]:
+        """The variables ``f`` depends on."""
+        seen = set()
+        found = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in (TRUE_NODE, FALSE_NODE) or node in seen:
+                continue
+            seen.add(node)
+            found.add(self._level[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return tuple(sorted(found))

@@ -1,0 +1,7 @@
+"""Experiment drivers regenerating the paper's tables and figures (§6)."""
+
+from repro.bench.measure import geometric_mean, timed
+from repro.bench.report import format_series, format_table
+from repro.bench import experiments
+
+__all__ = ["timed", "geometric_mean", "format_table", "format_series", "experiments"]

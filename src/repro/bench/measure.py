@@ -1,0 +1,29 @@
+"""Timing and aggregation helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Iterable, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def timed(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Run ``fn`` and return (result, wall seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's speedup aggregation); 0 on empty input."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedups(baseline: List[float], ours: List[float]) -> List[float]:
+    """Pairwise baseline/ours ratios (>1 means ours is faster)."""
+    return [b / o for b, o in zip(baseline, ours) if o > 0 and b > 0]

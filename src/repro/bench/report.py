@@ -1,0 +1,36 @@
+"""Plain-text table/series rendering for experiment output.
+
+The paper reports figures; offline we print the same rows/series so the
+reader can compare shapes (who wins, by what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(
+    title: str, header: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """A fixed-width table with a title rule."""
+    rendered_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "-" * max(len(title), sum(widths) + 2 * len(widths))]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Iterable[Tuple[object, object]]) -> str:
+    """A two-column (x, y) series."""
+    return format_table(title, ["x", "y"], series)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

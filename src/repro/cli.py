@@ -1,0 +1,291 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``synthesize PROBLEM.json`` — run the synthesizer on a problem file (see
+  :mod:`repro.net.serialize` for the format) and print the plan (or the
+  infeasibility verdict).  ``--json`` emits the plan machine-readably.
+* ``check PROBLEM.json`` — model check the problem's *initial* (or, with
+  ``--final``, final) configuration against its specification.
+* ``demo NAME`` — write a ready-made problem file (``fig1-green``,
+  ``fig1-blue``, ``double-diamond``) to stdout, for experimenting with the
+  other subcommands.
+* ``experiment NAME`` — run one of the paper-figure experiment drivers
+  (``fig2a``, ``fig2b``, ``fig7-zoo``, ``fig7-fattree``, ``fig7-smallworld``,
+  ``fig7-netplumber``, ``fig8g``, ``fig8h``, ``fig8i``, ``ablations``) and
+  print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError, SynthesisTimeout, UpdateInfeasibleError
+from repro.kripke.structure import KripkeStructure
+from repro.ltl import specs
+from repro.mc.interface import make_checker
+from repro.net.config import Configuration
+from repro.net.fields import TrafficClass
+from repro.net.serialize import (
+    Problem,
+    load_problem,
+    plan_to_dict,
+    problem_to_dict,
+)
+from repro.synthesis import UpdateSynthesizer
+from repro.topo import double_diamond, mini_datacenter
+
+
+def _demo_problem(name: str) -> Problem:
+    if name in ("fig1-green", "fig1-blue"):
+        topo = mini_datacenter()
+        tc = TrafficClass.make("h1_to_h3", src="H1", dst="H3")
+        red = ["H1", "T1", "A1", "C1", "A3", "T3", "H3"]
+        if name == "fig1-green":
+            final_path = ["H1", "T1", "A1", "C2", "A3", "T3", "H3"]
+            spec_text = "dst=H3 => F at(H3)"
+        else:
+            final_path = ["H1", "T1", "A2", "C1", "A4", "T3", "H3"]
+            spec_text = "dst=H3 => ((F at(A2) | F at(A3)) & F at(H3))"
+        from repro.ltl.parser import parse
+
+        return Problem(
+            topology=topo,
+            ingresses={tc: ["H1"]},
+            init=Configuration.from_paths(topo, {tc: red}),
+            final=Configuration.from_paths(topo, {tc: final_path}),
+            spec=parse(spec_text),
+            spec_text=spec_text,
+        )
+    if name == "double-diamond":
+        scenario = double_diamond(12, seed=1)
+        guard_ab = "dst=Hb => F at(Hb)"
+        guard_ba = "dst=Ha => F at(Ha)"
+        spec_text = f"({guard_ab}) & ({guard_ba})"
+        from repro.ltl.parser import parse
+
+        return Problem(
+            topology=scenario.topology,
+            ingresses={tc: list(h) for tc, h in scenario.ingresses.items()},
+            init=scenario.init,
+            final=scenario.final,
+            spec=parse(spec_text),
+            spec_text=spec_text,
+        )
+    raise ReproError(f"unknown demo {name!r} (try fig1-green, fig1-blue, double-diamond)")
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    problem = _demo_problem(args.name)
+    json.dump(problem_to_dict(problem), sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    synth = UpdateSynthesizer(
+        problem.topology,
+        checker=args.checker,
+        granularity=args.granularity,
+        remove_waits=not args.keep_waits,
+    )
+    try:
+        plan = synth.synthesize(
+            problem.init,
+            problem.final,
+            problem.spec,
+            problem.ingresses,
+            timeout=args.timeout,
+        )
+    except UpdateInfeasibleError as err:
+        print(f"INFEASIBLE ({err.reason}): {err}")
+        return 2
+    except SynthesisTimeout as err:
+        print(f"TIMEOUT: {err}")
+        return 3
+    if args.json:
+        json.dump(plan_to_dict(plan), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(plan.summary())
+        for command in plan.commands:
+            print(f"  {command}")
+        stats = plan.stats
+        print(
+            f"model checks: {stats.model_checks}, counterexamples: "
+            f"{stats.counterexamples}, waits kept: {stats.waits_after_removal}"
+            f"/{stats.waits_before_removal}"
+        )
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    config = problem.final if args.final else problem.init
+    structure = KripkeStructure(problem.topology, config, problem.ingresses)
+    checker = make_checker(args.checker, structure, problem.spec)
+    result = checker.full_check()
+    which = "final" if args.final else "initial"
+    if result.ok:
+        print(f"OK: the {which} configuration satisfies {problem.spec_text!r}")
+        return 0
+    print(f"VIOLATION: the {which} configuration violates {problem.spec_text!r}")
+    if result.counterexample:
+        print("counterexample trace:")
+        for state in result.counterexample:
+            print(f"  {state}")
+    return 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.bench import experiments
+    from repro.bench.report import format_series, format_table
+
+    name = args.name
+    if name == "fig2a":
+        for strategy, series in experiments.fig2a_probe_series().items():
+            print(format_series(f"Fig 2(a) — {strategy}", series))
+    elif name == "fig2b":
+        overhead = experiments.fig2b_rule_overhead()
+        switches = sorted(set().union(*overhead.values()))
+        print(
+            format_table(
+                "Fig 2(b) rule overhead",
+                ["switch"] + list(overhead),
+                [
+                    [sw] + [overhead[s].get(sw, 0.0) for s in overhead]
+                    for sw in switches
+                ],
+            )
+        )
+    elif name in ("fig7-zoo", "fig7-fattree", "fig7-smallworld"):
+        family = name.split("-", 1)[1]
+        rows, means = experiments.fig7_solvers(family)
+        print(
+            format_table(
+                f"Fig 7 ({family})",
+                ["scenario", "switches", "incremental", "batch", "automaton", "symbolic"],
+                [
+                    (
+                        r.name,
+                        r.switches,
+                        r.seconds.get("incremental"),
+                        r.seconds.get("batch"),
+                        r.seconds.get("automaton"),
+                        r.seconds.get("symbolic"),
+                    )
+                    for r in rows
+                ],
+            )
+        )
+        print("geomean speedups:", means)
+    elif name == "fig7-netplumber":
+        rows, means = experiments.fig7_netplumber()
+        print(
+            format_table(
+                "Fig 7(d-f)",
+                ["scenario", "switches", "incremental", "netplumber"],
+                [
+                    (r.name, r.switches, r.seconds["incremental"], r.seconds["netplumber"])
+                    for r in rows
+                ],
+            )
+        )
+        print("geomean speedups:", means)
+    elif name == "fig8g":
+        rows = experiments.fig8g_scaling()
+        print(
+            format_table(
+                "Fig 8(g)",
+                ["property", "switches", "updates", "seconds", "waits"],
+                [(r.prop, r.switches, r.updates, r.seconds, r.waits_after) for r in rows],
+            )
+        )
+    elif name == "fig8h":
+        rows = experiments.fig8h_infeasible()
+        print(
+            format_table(
+                "Fig 8(h)",
+                ["switches", "updating", "seconds", "feasible"],
+                [(r.switches, r.updates, r.seconds, r.feasible) for r in rows],
+            )
+        )
+    elif name == "ablations":
+        rows = experiments.ablation_optimizations()
+        print(
+            format_table(
+                "Ablation: search optimizations",
+                ["variant", "seconds", "model checks", "cex", "backtracks"],
+                [
+                    (r.variant, r.seconds, r.model_checks, r.counterexamples, r.backtracks)
+                    for r in rows
+                ],
+            )
+        )
+    elif name == "fig8i":
+        rows = experiments.fig8i_rule_granularity()
+        print(
+            format_table(
+                "Fig 8(i)",
+                ["switches", "updates", "seconds", "waits"],
+                [(r.switches, r.updates, r.seconds, r.waits_after) for r in rows],
+            )
+        )
+        print("waits summary:", experiments.waits_summary(rows))
+    else:
+        raise ReproError(f"unknown experiment {name!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Efficient Synthesis of Network Updates (PLDI 2015) — reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_synth = sub.add_parser("synthesize", help="synthesize an update plan")
+    p_synth.add_argument("problem", help="path to a problem JSON file")
+    p_synth.add_argument("--checker", default="incremental",
+                         choices=["incremental", "batch", "automaton", "symbolic", "nusmv", "netplumber"])
+    p_synth.add_argument("--granularity", default="switch", choices=["switch", "rule"])
+    p_synth.add_argument("--keep-waits", action="store_true",
+                         help="skip the wait-removal post-pass")
+    p_synth.add_argument("--timeout", type=float, default=None)
+    p_synth.add_argument("--json", action="store_true", help="emit the plan as JSON")
+    p_synth.set_defaults(fn=_cmd_synthesize)
+
+    p_check = sub.add_parser("check", help="model check a configuration")
+    p_check.add_argument("problem")
+    p_check.add_argument("--final", action="store_true",
+                         help="check the final instead of the initial configuration")
+    p_check.add_argument("--checker", default="incremental",
+                         choices=["incremental", "batch", "automaton", "symbolic", "nusmv", "netplumber"])
+    p_check.set_defaults(fn=_cmd_check)
+
+    p_demo = sub.add_parser("demo", help="emit a ready-made problem file")
+    p_demo.add_argument("name", help="fig1-green | fig1-blue | double-diamond")
+    p_demo.set_defaults(fn=_cmd_demo)
+
+    p_exp = sub.add_parser("experiment", help="run a paper-figure experiment")
+    p_exp.add_argument("name", help="fig2a | fig2b | fig7-* | fig8g | fig8h | fig8i")
+    p_exp.set_defaults(fn=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch a single type at the API boundary while tests can assert on the precise
+subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed topologies (duplicate links, unknown nodes...)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for malformed configurations (rules on unknown switches...)."""
+
+
+class ParseError(ReproError):
+    """Raised when parsing LTL formulas or GML topology files fails."""
+
+
+class ModelCheckError(ReproError):
+    """Raised when a model checker is used incorrectly (e.g. stale labels)."""
+
+
+class ForwardingLoopError(ReproError):
+    """Raised when a configuration contains a forwarding loop.
+
+    The offending cycle is available as the ``cycle`` attribute (a list of
+    Kripke states or switch identifiers, depending on where it was detected).
+    """
+
+    def __init__(self, message: str, cycle=None):
+        super().__init__(message)
+        self.cycle = list(cycle) if cycle is not None else []
+
+
+class UpdateInfeasibleError(ReproError):
+    """Raised when no correct update sequence exists for a synthesis problem.
+
+    ``reason`` distinguishes exhaustive-search failure (``"search"``) from the
+    early-termination optimization proving unsatisfiability (``"sat"``).
+    """
+
+    def __init__(self, message: str, reason: str = "search"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class SynthesisTimeout(ReproError):
+    """Raised when synthesis exceeds its time budget."""
+
+
+class SimulationError(ReproError):
+    """Raised by the operational network machine / discrete-event simulator."""

@@ -1,0 +1,43 @@
+"""A Frenetic/NetKAT-style policy language and local flow-table compiler.
+
+The paper's tool is "interfaced with Frenetic" [8]: operators write
+high-level policies which a compiler turns into the prioritized rule tables
+the synthesizer manipulates.  This package provides that substrate:
+
+* :mod:`repro.frenetic.policy` — predicates (``test``, ``&``, ``|``, ``~``)
+  and policies (``filter``, ``mod``, ``fwd``, union ``+``, sequence ``>>``)
+  with a direct denotational interpreter;
+* :mod:`repro.frenetic.compiler` — the classic local compilation to
+  first-match decision lists and thence to prioritized
+  :class:`~repro.net.rules.Table` objects, so compiled policies drop into
+  configurations and the synthesizer unchanged.
+"""
+
+from repro.frenetic.policy import (
+    Policy,
+    Pred,
+    drop,
+    evaluate_policy,
+    filter_,
+    fwd,
+    identity,
+    mod,
+    test,
+    test_port,
+)
+from repro.frenetic.compiler import compile_policy, compile_network
+
+__all__ = [
+    "Pred",
+    "Policy",
+    "test",
+    "test_port",
+    "filter_",
+    "mod",
+    "fwd",
+    "identity",
+    "drop",
+    "evaluate_policy",
+    "compile_policy",
+    "compile_network",
+]

@@ -1,0 +1,219 @@
+"""Local compilation of NetKAT-style policies to prioritized flow tables.
+
+The compiler performs an exact case analysis.  Collect, per field, the set
+of constant values the policy ever tests; environments then partition into
+*cells* — one choice per field of either a tested constant or OTHER (some
+value the policy never mentions).  Within a cell the policy behaves
+uniformly (all its tests are equality-with-constant), so evaluating the
+reference interpreter once per cell on a representative environment yields
+the complete semantics.
+
+Each cell becomes one rule: its pattern constrains exactly the fields bound
+to constants (OTHER fields are left wildcarded) and its priority is the
+number of constrained fields — the classic TCAM encoding in which more
+specific cells shadow the OTHER rows, realizing negation without negative
+patterns.  Any overlap between same-priority rules is always preempted by a
+more constrained (higher-priority) cell, so first-match agrees with the cell
+semantics.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.config import Configuration
+from repro.net.rules import Action, Forward, Pattern, Rule, SetField, Table
+from repro.net.topology import NodeId
+from repro.frenetic.policy import (
+    Filter,
+    Mod,
+    PAnd,
+    PFalse,
+    PNot,
+    POr,
+    PORT_FIELD,
+    PTrue,
+    Policy,
+    Pred,
+    Seq,
+    Test,
+    Union_,
+    _eval,
+)
+
+#: refuse pathological policies whose case analysis would explode
+MAX_CELLS = 4096
+
+_OTHER = "\x00other-"
+
+
+def _tested_values(policy: Policy) -> Dict[str, Set[str]]:
+    """Per field, the constants the policy tests or assigns."""
+    values: Dict[str, Set[str]] = {}
+
+    def walk_pred(pred: Pred) -> None:
+        if isinstance(pred, Test):
+            values.setdefault(pred.field, set()).add(pred.value)
+        elif isinstance(pred, (PAnd, POr)):
+            walk_pred(pred.left)
+            walk_pred(pred.right)
+        elif isinstance(pred, PNot):
+            walk_pred(pred.sub)
+
+    def walk(node: Policy) -> None:
+        if isinstance(node, Filter):
+            walk_pred(node.pred)
+        elif isinstance(node, Mod):
+            # assigned constants matter: later tests may compare against them
+            values.setdefault(node.field, set()).add(node.value)
+        elif isinstance(node, (Union_, Seq)):
+            walk(node.left)
+            walk(node.right)
+
+    walk(policy)
+    return values
+
+
+def compile_policy(policy: Policy) -> Table:
+    """Compile a local policy to a prioritized flow table."""
+    values = _tested_values(policy)
+    fields = sorted(values)
+    if PORT_FIELD not in values:
+        # policies that never mention the port still need the OTHER in-port
+        fields = sorted(set(fields) | {PORT_FIELD})
+        values.setdefault(PORT_FIELD, set())
+
+    choice_lists: List[List[Tuple[str, str]]] = []
+    total = 1
+    for field in fields:
+        options = [(field, value) for value in sorted(values[field])]
+        options.append((field, _OTHER + field))
+        total *= len(options)
+        choice_lists.append(options)
+    if total > MAX_CELLS:
+        raise ConfigurationError(
+            f"policy case analysis needs {total} cells (> {MAX_CELLS})"
+        )
+
+    rules: List[Rule] = []
+    for cell in iter_product(*choice_lists):
+        env = {field: value for field, value in cell}
+        outputs = _eval(policy, (dict(env), False))
+        actions = _cell_actions(env, outputs)
+        constraints = {
+            field: value for field, value in cell if not value.startswith(_OTHER)
+        }
+        in_port = constraints.pop(PORT_FIELD, None)
+        if not actions and not constraints and in_port is None:
+            continue  # wildcard drop: absence of a rule already drops
+        pattern = Pattern(
+            int(in_port) if in_port is not None else None,
+            tuple(sorted(constraints.items())),
+        )
+        rules.append(Rule(len(constraints) + (in_port is not None), pattern, tuple(actions)))
+    return Table(_prune_empty_lowest(rules))
+
+
+def _cell_actions(env: Dict[str, str], outputs) -> List[Action]:
+    """OpenFlow action list realizing the interpreter outputs for a cell.
+
+    Action lists thread rewrites left to right.  A field bound to a cell
+    constant can always be restored by re-asserting that constant, but an
+    OTHER (wildcarded) field's original value is unknown at compile time —
+    once clobbered it cannot be restored.  Outputs are therefore emitted in
+    a topological order where every output needing an OTHER field's original
+    value precedes every output that clobbers it; a cyclic requirement means
+    the multicast is not realizable as a single OpenFlow action list (real
+    switches need group tables for this) and is rejected.
+    """
+    emit = []
+    for out_env, forwarded in outputs:
+        if not forwarded:
+            continue
+        out_port = out_env.get(PORT_FIELD)
+        if out_port is None or out_port.startswith(_OTHER):
+            continue
+        emit.append((out_env, int(out_port)))
+    if not emit:
+        return []
+
+    def needs_original(out_env: Dict[str, str], field: str) -> bool:
+        return env[field].startswith(_OTHER) and out_env.get(field) == env[field]
+
+    def clobbers(out_env: Dict[str, str], field: str) -> bool:
+        value = out_env.get(field)
+        return (
+            env[field].startswith(_OTHER)
+            and value is not None
+            and value != env[field]
+        )
+
+    fields = [f for f in env if f != PORT_FIELD]
+    order: List[int] = []
+    pending = list(range(len(emit)))
+    while pending:
+        progress = False
+        for i in list(pending):
+            out_i = emit[i][0]
+            # emit i only if no still-pending output needs an original value
+            # that i would clobber
+            blocked = any(
+                clobbers(out_i, f) and needs_original(emit[j][0], f)
+                for f in fields
+                for j in pending
+                if j != i
+            )
+            if not blocked:
+                order.append(i)
+                pending.remove(i)
+                progress = True
+        if not progress:
+            raise ConfigurationError(
+                "multicast policy needs to restore an unknown field value; "
+                "not realizable as a single OpenFlow action list"
+            )
+
+    actions: List[Action] = []
+    current = dict(env)
+    for i in order:
+        out_env, out_port = emit[i]
+        for field in sorted(fields):
+            desired = out_env.get(field, env[field])
+            if current.get(field) == desired:
+                continue
+            if desired.startswith(_OTHER):
+                # needing an original value here would contradict the
+                # emission order above
+                raise ConfigurationError(
+                    "internal: emission order failed to protect a wildcard field"
+                )
+            actions.append(SetField(field, desired))
+            current[field] = desired
+        actions.append(Forward(out_port))
+    return actions
+
+
+def _prune_empty_lowest(rules: List[Rule]) -> List[Rule]:
+    """Drop zero-action rules that no higher-priority rule shadows meaningfully.
+
+    Zero-action rules are only needed to *shadow* wildcard rows (encode
+    negation); if no rule with strictly lower priority exists, dropping is
+    the table's default and the rule is dead weight.
+    """
+    if not rules:
+        return rules
+    min_priority = min(r.priority for r in rules)
+    return [
+        r
+        for r in rules
+        if r.actions or r.priority > min_priority
+    ]
+
+
+def compile_network(policies: Mapping[NodeId, Policy]) -> Configuration:
+    """Compile one policy per switch into a configuration."""
+    return Configuration(
+        {switch: compile_policy(policy) for switch, policy in policies.items()}
+    )

@@ -1,0 +1,235 @@
+"""NetKAT-style predicates and policies with a reference interpreter.
+
+The fragment implemented is the *local* (single-switch, link-free) NetKAT
+core: predicates are boolean combinations of field tests; policies are
+filters, field modifications, forwards, unions (``+``), and sequential
+compositions (``>>``).  The input port is modeled as a pseudo-field
+``"port"``, as in NetKAT, so ``fwd(n)`` is sugar for ``mod("port", n)`` and
+a policy's outputs are the packets whose final ``port`` value is set.
+
+:func:`evaluate_policy` is the denotational semantics — a function from one
+located packet to a set of located packets — and is the ground truth the
+flow-table compiler is property-tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.net.fields import FieldName, FieldValue, Packet
+from repro.net.topology import Port
+
+#: the pseudo-field carrying the packet's (current) port
+PORT_FIELD = "port"
+
+
+# ----------------------------------------------------------------------
+# predicates
+# ----------------------------------------------------------------------
+class Pred:
+    """Base class of predicates."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Pred") -> "Pred":
+        return PAnd(self, other)
+
+    def __or__(self, other: "Pred") -> "Pred":
+        return POr(self, other)
+
+    def __invert__(self) -> "Pred":
+        return PNot(self)
+
+
+@dataclass(frozen=True)
+class PTrue(Pred):
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class PFalse(Pred):
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Test(Pred):
+    field: FieldName
+    value: FieldValue
+
+    def __str__(self) -> str:
+        return f"{self.field}={self.value}"
+
+
+@dataclass(frozen=True)
+class PAnd(Pred):
+    left: Pred
+    right: Pred
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class POr(Pred):
+    left: Pred
+    right: Pred
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class PNot(Pred):
+    sub: Pred
+
+    def __str__(self) -> str:
+        return f"!{self.sub}"
+
+
+def test(field: FieldName, value: FieldValue) -> Pred:
+    return Test(field, str(value))
+
+
+def test_port(port: Port) -> Pred:
+    return Test(PORT_FIELD, str(port))
+
+
+# ----------------------------------------------------------------------
+# policies
+# ----------------------------------------------------------------------
+class Policy:
+    """Base class of policies."""
+
+    __slots__ = ()
+
+    def __add__(self, other: "Policy") -> "Policy":
+        return Union_(self, other)
+
+    def __rshift__(self, other: "Policy") -> "Policy":
+        return Seq(self, other)
+
+
+@dataclass(frozen=True)
+class Filter(Policy):
+    pred: Pred
+
+    def __str__(self) -> str:
+        return f"filter({self.pred})"
+
+
+@dataclass(frozen=True)
+class Mod(Policy):
+    field: FieldName
+    value: FieldValue
+
+    def __str__(self) -> str:
+        return f"{self.field}:={self.value}"
+
+
+@dataclass(frozen=True)
+class Union_(Policy):
+    left: Policy
+    right: Policy
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class Seq(Policy):
+    left: Policy
+    right: Policy
+
+    def __str__(self) -> str:
+        return f"({self.left} ; {self.right})"
+
+
+def filter_(pred: Pred) -> Policy:
+    return Filter(pred)
+
+
+def mod(field: FieldName, value: FieldValue) -> Policy:
+    return Mod(field, str(value))
+
+
+def fwd(port: Port) -> Policy:
+    """Forward out ``port``: sugar for ``mod("port", port)``."""
+    return Mod(PORT_FIELD, str(port))
+
+
+identity: Policy = Filter(PTrue())
+drop: Policy = Filter(PFalse())
+
+
+# ----------------------------------------------------------------------
+# denotational semantics
+# ----------------------------------------------------------------------
+LocatedPacket = Tuple[Tuple[Tuple[FieldName, FieldValue], ...],]
+
+
+def _pkt_to_env(packet: Packet, port: Port) -> Dict[FieldName, FieldValue]:
+    env = packet.field_map()
+    env[PORT_FIELD] = str(port)
+    return env
+
+
+def eval_pred(pred: Pred, env: Dict[FieldName, FieldValue]) -> bool:
+    if isinstance(pred, PTrue):
+        return True
+    if isinstance(pred, PFalse):
+        return False
+    if isinstance(pred, Test):
+        return env.get(pred.field) == pred.value
+    if isinstance(pred, PAnd):
+        return eval_pred(pred.left, env) and eval_pred(pred.right, env)
+    if isinstance(pred, POr):
+        return eval_pred(pred.left, env) or eval_pred(pred.right, env)
+    if isinstance(pred, PNot):
+        return not eval_pred(pred.sub, env)
+    raise TypeError(f"unknown predicate {pred!r}")
+
+
+_State = Tuple[Dict[FieldName, FieldValue], bool]  # (fields+port, forwarded?)
+
+
+def _eval(policy: Policy, state: _State) -> List[_State]:
+    env, forwarded = state
+    if isinstance(policy, Filter):
+        return [(dict(env), forwarded)] if eval_pred(policy.pred, env) else []
+    if isinstance(policy, Mod):
+        out = dict(env)
+        out[policy.field] = policy.value
+        return [(out, forwarded or policy.field == PORT_FIELD)]
+    if isinstance(policy, Union_):
+        return _eval(policy.left, state) + _eval(policy.right, state)
+    if isinstance(policy, Seq):
+        results: List[_State] = []
+        for mid in _eval(policy.left, state):
+            results.extend(_eval(policy.right, mid))
+        return results
+    raise TypeError(f"unknown policy {policy!r}")
+
+
+def evaluate_policy(
+    policy: Policy, packet: Packet, port: Port
+) -> List[Tuple[Packet, Port]]:
+    """The NetKAT semantics: one located packet in, a bag of them out.
+
+    Predicates see the true current ``port`` value (initially the in-port),
+    but a packet only counts as *output* if some ``fwd``/``mod("port", ..)``
+    fired along its evaluation — a switch emits only forwarded packets,
+    matching OpenFlow behaviour.
+    """
+    env = _pkt_to_env(packet, port)
+    results: List[Tuple[Packet, Port]] = []
+    for out, forwarded in _eval(policy, (env, False)):
+        if not forwarded:
+            continue
+        out_port = out.pop(PORT_FIELD)
+        results.append(
+            (Packet.make(**out).with_epoch(packet.epoch), int(out_port))
+        )
+    return results

@@ -1,0 +1,35 @@
+"""Header Space Analysis substrate (NetPlumber-style incremental checking).
+
+:mod:`repro.hsa.headerspace` implements the ternary wildcard-vector algebra
+of Header Space Analysis (Kazemian et al., NSDI'12): headers are points in
+``{0,1}^W``, sets are unions of ternary vectors, and the algebra supports
+intersection, union, subtraction, and subset tests.
+
+:mod:`repro.hsa.plumber` implements a NetPlumber-style plumbing graph
+(Kazemian et al., NSDI'13): rules are nodes, pipes connect rules along
+topology links, source nodes inject flows, and probe nodes evaluate
+reachability/waypoint policies over the flows (with path histories) that
+arrive.  Updates re-propagate only the flows that traverse changed switches.
+"""
+
+from repro.hsa.headerspace import FieldEncoder, HeaderSet, TernaryVector
+from repro.hsa.plumber import (
+    CoveragePolicy,
+    IsolationPolicy,
+    PlumbingGraph,
+    PolicyResult,
+    ServiceChainPolicy,
+    WaypointPolicy,
+)
+
+__all__ = [
+    "TernaryVector",
+    "HeaderSet",
+    "FieldEncoder",
+    "PlumbingGraph",
+    "PolicyResult",
+    "CoveragePolicy",
+    "WaypointPolicy",
+    "ServiceChainPolicy",
+    "IsolationPolicy",
+]

@@ -1,0 +1,258 @@
+"""Ternary wildcard-vector algebra (Header Space Analysis).
+
+A packet header is a point in ``{0,1}^W``.  A :class:`TernaryVector` denotes
+the set of headers matching a pattern over ``{0, 1, x}`` (``x`` = wildcard),
+encoded as two integers: ``care`` (which bits are constrained) and ``bits``
+(their required values).  A :class:`HeaderSet` is a union of such vectors
+supporting the boolean-algebra operations HSA needs: intersection, union,
+subtraction, emptiness, and subset tests.
+
+:class:`FieldEncoder` maps the library's symbolic packet fields (string
+values) onto bit positions so network patterns and traffic classes can be
+converted to header sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.net.fields import FieldName, FieldValue, TrafficClass
+
+
+class TernaryVector:
+    """A wildcard pattern over ``W`` bits: the set of matching headers."""
+
+    __slots__ = ("width", "care", "bits")
+
+    def __init__(self, width: int, care: int = 0, bits: int = 0):
+        if bits & ~care:
+            raise ValueError("value bits set outside the care mask")
+        self.width = width
+        self.care = care
+        self.bits = bits
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def wildcard(width: int) -> "TernaryVector":
+        """The full space ``x^W``."""
+        return TernaryVector(width, 0, 0)
+
+    @staticmethod
+    def from_string(text: str) -> "TernaryVector":
+        """Parse e.g. ``"1x0"`` (leftmost char is the highest bit)."""
+        width = len(text)
+        care = bits = 0
+        for i, ch in enumerate(text):
+            position = width - 1 - i
+            if ch == "x":
+                continue
+            care |= 1 << position
+            if ch == "1":
+                bits |= 1 << position
+            elif ch != "0":
+                raise ValueError(f"bad ternary character {ch!r}")
+        return TernaryVector(width, care, bits)
+
+    def to_string(self) -> str:
+        out = []
+        for position in range(self.width - 1, -1, -1):
+            if not (self.care >> position) & 1:
+                out.append("x")
+            else:
+                out.append("1" if (self.bits >> position) & 1 else "0")
+        return "".join(out)
+
+    # ------------------------------------------------------------------
+    def intersect(self, other: "TernaryVector") -> Optional["TernaryVector"]:
+        """Intersection, or ``None`` if empty (conflicting constrained bits)."""
+        both = self.care & other.care
+        if (self.bits ^ other.bits) & both:
+            return None
+        return TernaryVector(
+            self.width, self.care | other.care, self.bits | other.bits
+        )
+
+    def subtract(self, other: "TernaryVector") -> List["TernaryVector"]:
+        """``self - other`` as a union of disjoint ternary vectors.
+
+        Standard HSA expansion: for each bit constrained by ``other`` but not
+        forced equal by ``self``, emit ``self`` with that bit flipped (and the
+        previous bits pinned to ``other``'s values to keep pieces disjoint).
+        """
+        overlap = self.intersect(other)
+        if overlap is None:
+            return [TernaryVector(self.width, self.care, self.bits)]
+        pieces: List[TernaryVector] = []
+        pinned_care = self.care
+        pinned_bits = self.bits
+        for position in range(self.width):
+            mask = 1 << position
+            if not (other.care & mask):
+                continue
+            if self.care & mask:
+                continue  # already equal on this bit (else no overlap)
+            flipped_bits = (pinned_bits & ~mask) | (~other.bits & mask)
+            pieces.append(
+                TernaryVector(self.width, pinned_care | mask, flipped_bits & (pinned_care | mask))
+            )
+            # pin this bit to other's value for subsequent pieces
+            pinned_care |= mask
+            pinned_bits = (pinned_bits & ~mask) | (other.bits & mask)
+        return pieces
+
+    def contains_point(self, point: int) -> bool:
+        return (point & self.care) == self.bits
+
+    def sample_point(self) -> int:
+        """Some header in this set (wildcards resolved to 0)."""
+        return self.bits
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TernaryVector):
+            return NotImplemented
+        return (
+            self.width == other.width
+            and self.care == other.care
+            and self.bits == other.bits
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.care, self.bits))
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+    def __repr__(self) -> str:
+        return f"TernaryVector({self.to_string()!r})"
+
+
+class HeaderSet:
+    """A union of ternary vectors over a common width."""
+
+    __slots__ = ("width", "vectors")
+
+    def __init__(self, width: int, vectors: Iterable[TernaryVector] = ()):
+        self.width = width
+        self.vectors: Tuple[TernaryVector, ...] = tuple(
+            v for v in vectors if v.width == width
+        )
+
+    @staticmethod
+    def empty(width: int) -> "HeaderSet":
+        return HeaderSet(width, ())
+
+    @staticmethod
+    def all(width: int) -> "HeaderSet":
+        return HeaderSet(width, (TernaryVector.wildcard(width),))
+
+    @staticmethod
+    def of(vector: TernaryVector) -> "HeaderSet":
+        return HeaderSet(vector.width, (vector,))
+
+    def is_empty(self) -> bool:
+        return not self.vectors
+
+    def union(self, other: "HeaderSet") -> "HeaderSet":
+        return HeaderSet(self.width, self.vectors + other.vectors)
+
+    def intersect(self, other: "HeaderSet") -> "HeaderSet":
+        out: List[TernaryVector] = []
+        for a in self.vectors:
+            for b in other.vectors:
+                c = a.intersect(b)
+                if c is not None:
+                    out.append(c)
+        return HeaderSet(self.width, out)
+
+    def subtract(self, other: "HeaderSet") -> "HeaderSet":
+        remaining: List[TernaryVector] = list(self.vectors)
+        for b in other.vectors:
+            next_remaining: List[TernaryVector] = []
+            for a in remaining:
+                next_remaining.extend(a.subtract(b))
+            remaining = next_remaining
+            if not remaining:
+                break
+        return HeaderSet(self.width, remaining)
+
+    def is_subset_of(self, other: "HeaderSet") -> bool:
+        return self.subtract(other).is_empty()
+
+    def equals(self, other: "HeaderSet") -> bool:
+        return self.is_subset_of(other) and other.is_subset_of(self)
+
+    def contains_point(self, point: int) -> bool:
+        return any(v.contains_point(point) for v in self.vectors)
+
+    def count_points(self) -> int:
+        """Exact cardinality via inclusion-exclusion-free disjointification."""
+        disjoint: List[TernaryVector] = []
+        for v in self.vectors:
+            pieces = [v]
+            for d in disjoint:
+                nxt: List[TernaryVector] = []
+                for p in pieces:
+                    nxt.extend(p.subtract(d))
+                pieces = nxt
+                if not pieces:
+                    break
+            disjoint.extend(pieces)
+        total = 0
+        for d in disjoint:
+            free = self.width - bin(d.care).count("1")
+            total += 1 << free
+        return total
+
+    def __str__(self) -> str:
+        if not self.vectors:
+            return "{}"
+        return "{" + " + ".join(v.to_string() for v in self.vectors) + "}"
+
+    def __repr__(self) -> str:
+        return f"HeaderSet({self})"
+
+
+class FieldEncoder:
+    """Maps symbolic field/value patterns onto header bits.
+
+    Values are interned per field; each field gets a fixed-width slice of the
+    header.  Unknown values can be added until :meth:`freeze` (encoding is
+    grown on demand by default, which suits tests and the checker adapter).
+    """
+
+    def __init__(self, fields: Sequence[FieldName] = ("src", "dst", "typ"), bits_per_field: int = 8):
+        self.fields: Tuple[FieldName, ...] = tuple(fields)
+        self.bits_per_field = bits_per_field
+        self.width = len(self.fields) * bits_per_field
+        self._values: Dict[FieldName, Dict[FieldValue, int]] = {f: {} for f in self.fields}
+        self._offset: Dict[FieldName, int] = {
+            f: i * bits_per_field for i, f in enumerate(self.fields)
+        }
+
+    def value_id(self, field: FieldName, value: FieldValue) -> int:
+        if field not in self._values:
+            raise KeyError(f"unknown field {field!r}")
+        table = self._values[field]
+        if value not in table:
+            next_id = len(table) + 1  # id 0 reserved for "unspecified"
+            if next_id >= (1 << self.bits_per_field):
+                raise ValueError(f"too many distinct values for field {field!r}")
+            table[value] = next_id
+        return table[value]
+
+    def encode_fields(self, constraints: Mapping[FieldName, FieldValue]) -> TernaryVector:
+        """A ternary vector constraining exactly the given fields."""
+        care = bits = 0
+        for field, value in constraints.items():
+            offset = self._offset[field]
+            vid = self.value_id(field, value)
+            field_mask = ((1 << self.bits_per_field) - 1) << offset
+            care |= field_mask
+            bits |= vid << offset
+        return TernaryVector(self.width, care, bits)
+
+    def encode_class(self, tc: TrafficClass) -> HeaderSet:
+        return HeaderSet.of(self.encode_fields(tc.field_map()))
+
+    def encode_pattern_fields(self, fields: Iterable[Tuple[FieldName, FieldValue]]) -> HeaderSet:
+        return HeaderSet.of(self.encode_fields(dict(fields)))

@@ -1,0 +1,305 @@
+"""NetPlumber-style plumbing graph with incremental flow propagation.
+
+Sources inject the header space of a traffic class at its ingress port;
+flows (header set + switch path history) propagate through prioritized rule
+tables — each rule captures the part of the incoming set matching it that no
+higher-priority rule already captured — along topology links, until they are
+delivered to a host, dropped (no matching rule), or detected looping.
+
+Probe policies then judge the stored flows: coverage (everything injected is
+delivered to the right host), waypointing (all delivered paths pass a node),
+service chaining (ordered waypoints), isolation, and drop-freedom.
+
+Incrementality: each source remembers the set of switches its flows touched;
+when a switch's table changes, only the sources that touched it are
+re-propagated.  Flows never influence each other (no rewrites), so this is
+exact, and it mirrors NetPlumber's re-propagation of affected flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hsa.headerspace import FieldEncoder, HeaderSet
+from repro.net.fields import TrafficClass
+from repro.net.rules import Forward, SetField, Table
+from repro.net.topology import NodeId, Port, Topology
+
+
+@dataclass
+class Flow:
+    """A propagating unit: a header set plus the switch path it took."""
+
+    hs: HeaderSet
+    path: Tuple[NodeId, ...]
+
+    def visits(self, node: NodeId) -> bool:
+        return node in self.path
+
+    def visits_in_order(self, nodes: Sequence[NodeId]) -> bool:
+        position = 0
+        for hop in self.path:
+            if position < len(nodes) and hop == nodes[position]:
+                position += 1
+        return position == len(nodes)
+
+
+@dataclass
+class PolicyResult:
+    ok: bool
+    policy: str
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclass
+class _Source:
+    name: str
+    tc: TrafficClass
+    hs: HeaderSet
+    entry: Tuple[NodeId, Port]
+    # propagation results
+    delivered: Dict[NodeId, List[Flow]] = field(default_factory=dict)
+    dropped: List[Tuple[NodeId, Flow]] = field(default_factory=list)
+    loops: List[Tuple[NodeId, ...]] = field(default_factory=list)
+    touched: Set[NodeId] = field(default_factory=set)
+    dirty: bool = True
+
+
+class PlumbingGraph:
+    """The incremental header-space checker core."""
+
+    def __init__(self, topology: Topology, encoder: Optional[FieldEncoder] = None):
+        self.topology = topology
+        self.encoder = encoder or FieldEncoder()
+        self._tables: Dict[NodeId, Table] = {}
+        # per switch: list of (priority, in_port, match_hs, out_ports), sorted
+        self._compiled: Dict[NodeId, List[Tuple[int, Optional[Port], HeaderSet, Tuple[Port, ...]]]] = {}
+        self._sources: Dict[str, _Source] = {}
+        self.propagations = 0  # statistics: switch-level propagation steps
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_source(self, name: str, tc: TrafficClass, ingress_host: NodeId) -> None:
+        entry = self.topology.attachment(ingress_host)
+        hs = self.encoder.encode_class(tc)
+        self._sources[name] = _Source(name, tc, hs, entry)
+
+    def set_table(self, switch: NodeId, table: Table) -> None:
+        """Install/replace a switch's table and mark affected sources dirty."""
+        self._tables[switch] = table
+        self._compiled[switch] = self._compile(table)
+        for source in self._sources.values():
+            if switch in source.touched or source.dirty or not source.touched:
+                source.dirty = True
+        # sources that never touched `switch` can only be affected if their
+        # propagation could now reach it, which requires an upstream change;
+        # a brand-new switch table alone cannot divert flows that never saw
+        # it, so leaving them clean is exact.  (Fresh sources are dirty.)
+
+    def _compile(self, table: Table):
+        compiled = []
+        for rule in table:
+            ports: List[Port] = []
+            for action in rule.actions:
+                if isinstance(action, Forward):
+                    ports.append(action.port)
+                elif isinstance(action, SetField):
+                    raise ConfigurationError(
+                        "header-space backend does not support rewrite actions"
+                    )
+            match = self.encoder.encode_pattern_fields(rule.pattern.fields)
+            compiled.append((rule.priority, rule.pattern.in_port, match, tuple(ports)))
+        compiled.sort(key=lambda item: -item[0])
+        return compiled
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Re-propagate all dirty sources."""
+        for source in self._sources.values():
+            if source.dirty:
+                self._propagate(source)
+                source.dirty = False
+
+    def _propagate(self, source: _Source) -> None:
+        source.delivered = {}
+        source.dropped = []
+        source.loops = []
+        source.touched = set()
+        switch, port = source.entry
+        stack: List[Tuple[NodeId, Port, Flow]] = [
+            (switch, port, Flow(source.hs, ()))
+        ]
+        while stack:
+            node, in_port, flow = stack.pop()
+            self.propagations += 1
+            if flow.visits(node):
+                source.loops.append(flow.path + (node,))
+                source.touched.add(node)
+                continue
+            source.touched.add(node)
+            remaining = flow.hs
+            path = flow.path + (node,)
+            for _, rule_in_port, match, out_ports in self._compiled.get(node, ()):  # priority desc
+                if rule_in_port is not None and rule_in_port != in_port:
+                    continue
+                hit = remaining.intersect(match)
+                if hit.is_empty():
+                    continue
+                for out_port in out_ports:
+                    peer = self.topology.peer(node, out_port)
+                    if peer is None:
+                        continue
+                    peer_node, peer_port = peer
+                    if self.topology.is_host(peer_node):
+                        source.delivered.setdefault(peer_node, []).append(
+                            Flow(hit, path)
+                        )
+                    else:
+                        stack.append((peer_node, peer_port, Flow(hit, path)))
+                remaining = remaining.subtract(match)
+                if remaining.is_empty():
+                    break
+            if not remaining.is_empty():
+                source.dropped.append((node, Flow(remaining, path)))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def source(self, name: str) -> _Source:
+        self.refresh()
+        return self._sources[name]
+
+    def source_for_class(self, tc: TrafficClass) -> Optional[_Source]:
+        self.refresh()
+        for source in self._sources.values():
+            if source.tc == tc:
+                return source
+        return None
+
+    def check(self, policies: Sequence["Policy"]) -> List[PolicyResult]:
+        self.refresh()
+        return [policy.evaluate(self) for policy in policies]
+
+
+class Policy:
+    """Base class for probe-node policies."""
+
+    def evaluate(self, graph: PlumbingGraph) -> PolicyResult:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class CoveragePolicy(Policy):
+    """All traffic of ``tc`` must be delivered to ``dst`` (reachability)."""
+
+    tc: TrafficClass
+    dst: NodeId
+
+    def evaluate(self, graph: PlumbingGraph) -> PolicyResult:
+        source = graph.source_for_class(self.tc)
+        name = f"reach({self.tc.name}->{self.dst})"
+        if source is None:
+            return PolicyResult(False, name, "no source for class")
+        if source.loops:
+            return PolicyResult(False, name, f"forwarding loop {source.loops[0]}")
+        delivered = HeaderSet.empty(graph.encoder.width)
+        for flow in source.delivered.get(self.dst, ()):
+            delivered = delivered.union(flow.hs)
+        if source.hs.is_subset_of(delivered):
+            return PolicyResult(True, name)
+        if source.dropped:
+            where = source.dropped[0][0]
+            return PolicyResult(False, name, f"traffic dropped at {where}")
+        return PolicyResult(False, name, "traffic not (fully) delivered")
+
+
+@dataclass
+class WaypointPolicy(Policy):
+    """All ``tc`` traffic delivered to ``dst`` must traverse ``waypoint``."""
+
+    tc: TrafficClass
+    waypoint: NodeId
+    dst: NodeId
+
+    def evaluate(self, graph: PlumbingGraph) -> PolicyResult:
+        name = f"waypoint({self.tc.name} via {self.waypoint})"
+        base = CoveragePolicy(self.tc, self.dst).evaluate(graph)
+        if not base.ok:
+            return PolicyResult(False, name, base.detail)
+        source = graph.source_for_class(self.tc)
+        assert source is not None
+        for flow in source.delivered.get(self.dst, ()):
+            if not flow.visits(self.waypoint):
+                return PolicyResult(
+                    False, name, f"path {flow.path} avoids {self.waypoint}"
+                )
+        return PolicyResult(True, name)
+
+
+@dataclass
+class ServiceChainPolicy(Policy):
+    """All ``tc`` traffic must traverse ``waypoints`` in order, then ``dst``."""
+
+    tc: TrafficClass
+    waypoints: Tuple[NodeId, ...]
+    dst: NodeId
+
+    def evaluate(self, graph: PlumbingGraph) -> PolicyResult:
+        name = f"chain({self.tc.name} via {'>'.join(self.waypoints)})"
+        base = CoveragePolicy(self.tc, self.dst).evaluate(graph)
+        if not base.ok:
+            return PolicyResult(False, name, base.detail)
+        source = graph.source_for_class(self.tc)
+        assert source is not None
+        for flow in source.delivered.get(self.dst, ()):
+            if not flow.visits_in_order(self.waypoints):
+                return PolicyResult(
+                    False, name, f"path {flow.path} breaks the chain"
+                )
+        return PolicyResult(True, name)
+
+
+@dataclass
+class IsolationPolicy(Policy):
+    """Traffic of ``tc`` must never visit ``forbidden``."""
+
+    tc: TrafficClass
+    forbidden: NodeId
+
+    def evaluate(self, graph: PlumbingGraph) -> PolicyResult:
+        name = f"isolation({self.tc.name} !via {self.forbidden})"
+        source = graph.source_for_class(self.tc)
+        if source is None:
+            return PolicyResult(False, name, "no source for class")
+        if self.forbidden in source.touched:
+            return PolicyResult(False, name, f"{self.forbidden} reached")
+        for host, flows in source.delivered.items():
+            if host == self.forbidden and flows:
+                return PolicyResult(False, name, f"delivered to {self.forbidden}")
+        return PolicyResult(True, name)
+
+
+@dataclass
+class DropFreedomPolicy(Policy):
+    """Traffic of ``tc`` must never be blackholed."""
+
+    tc: TrafficClass
+
+    def evaluate(self, graph: PlumbingGraph) -> PolicyResult:
+        name = f"dropfree({self.tc.name})"
+        source = graph.source_for_class(self.tc)
+        if source is None:
+            return PolicyResult(False, name, "no source for class")
+        if source.loops:
+            return PolicyResult(False, name, f"forwarding loop {source.loops[0]}")
+        if source.dropped:
+            return PolicyResult(False, name, f"dropped at {source.dropped[0][0]}")
+        return PolicyResult(True, name)

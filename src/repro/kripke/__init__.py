@@ -1,0 +1,5 @@
+"""Kripke structures encoding network configurations (§3.3, Definition 9)."""
+
+from repro.kripke.structure import KState, KripkeStructure
+
+__all__ = ["KState", "KripkeStructure"]

@@ -1,0 +1,422 @@
+"""Network Kripke structures with incremental updates (Definition 9, §5.2).
+
+A static configuration induces a Kripke structure whose states are packet
+locations per traffic class:
+
+* ``loc`` states ``(sw, pt, tc)`` — a packet of class ``tc`` arriving at
+  switch ``sw`` on port ``pt``;
+* ``host`` states ``(h, tc)`` — delivered packets (sink, self-loop);
+* ``drop`` states ``(sw, pt, tc)`` — blackholed packets (sink, self-loop,
+  labeled with the ``dropped`` atom).
+
+The structure is *DAG-like*: the only cycles are self-loops on sinks.  A
+forwarding loop in the configuration manifests as a non-trivial cycle and is
+reported via :class:`~repro.errors.ForwardingLoopError` (the paper's tool
+"automatically detects/rejects such configurations").
+
+States are created lazily (only locations reachable in some configuration
+encountered so far exist) and are never removed, so the state set ``Q`` is
+stable across updates, as §5.2 requires.  :meth:`KripkeStructure.update_switch`
+implements ``swUpdate``: it recomputes the transitions of the updated
+switch's states and returns the set of *dirty* states (changed or newly
+created) that an incremental checker must relabel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import ConfigurationError, ForwardingLoopError
+from repro.net.config import Configuration, next_hops
+from repro.net.fields import TrafficClass
+from repro.net.rules import Table
+from repro.net.topology import NodeId, Port, Topology
+
+
+@dataclass(frozen=True)
+class KState:
+    """A Kripke state: a packet location for one traffic class.
+
+    Provides the state-view attributes (``node``, ``port``, ``tc``,
+    ``dropped``) that atomic propositions evaluate against.
+    """
+
+    kind: str  # "loc" | "host" | "drop"
+    node: NodeId
+    port: Optional[Port]
+    tc: TrafficClass
+
+    @property
+    def dropped(self) -> bool:
+        return self.kind == "drop"
+
+    @property
+    def is_sink(self) -> bool:
+        return self.kind in ("host", "drop")
+
+    def __str__(self) -> str:
+        if self.kind == "host":
+            return f"<{self.tc.name}@host:{self.node}>"
+        if self.kind == "drop":
+            return f"<{self.tc.name}@DROP:{self.node}:{self.port}>"
+        return f"<{self.tc.name}@{self.node}:{self.port}>"
+
+
+def _loc(sw: NodeId, pt: Port, tc: TrafficClass) -> KState:
+    return KState("loc", sw, pt, tc)
+
+
+def _host(h: NodeId, tc: TrafficClass) -> KState:
+    return KState("host", h, None, tc)
+
+
+def _drop(sw: NodeId, pt: Port, tc: TrafficClass) -> KState:
+    return KState("drop", sw, pt, tc)
+
+
+class KripkeStructure:
+    """A mutable, incrementally-updatable network Kripke structure.
+
+    Args:
+        topology: the network wiring.
+        config: the initial static configuration.
+        ingresses: for each traffic class, the hosts where its packets enter
+            the network.  The initial Kripke states are the switch ports those
+            hosts attach to.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Configuration,
+        ingresses: Mapping[TrafficClass, Sequence[NodeId]],
+    ):
+        self.topology = topology
+        self._config = config
+        self._ingresses: Dict[TrafficClass, Tuple[NodeId, ...]] = {
+            tc: tuple(hosts) for tc, hosts in ingresses.items()
+        }
+        self._succ: Dict[KState, Tuple[KState, ...]] = {}
+        self._preds: Dict[KState, Set[KState]] = {}
+        self._rank: Dict[KState, int] = {}
+        self._initial: List[KState] = []
+        for tc, hosts in self._ingresses.items():
+            for host in hosts:
+                sw, pt = topology.attachment(host)
+                state = _loc(sw, pt, tc)
+                self._initial.append(state)
+        self._build_from(self._initial)
+
+    # ------------------------------------------------------------------
+    # read API
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> Configuration:
+        return self._config
+
+    @property
+    def initial_states(self) -> Tuple[KState, ...]:
+        return tuple(self._initial)
+
+    @property
+    def traffic_classes(self) -> Tuple[TrafficClass, ...]:
+        return tuple(self._ingresses)
+
+    def states(self) -> Iterable[KState]:
+        return self._succ.keys()
+
+    def num_states(self) -> int:
+        return len(self._succ)
+
+    def succ(self, state: KState) -> Tuple[KState, ...]:
+        return self._succ[state]
+
+    def preds(self, state: KState) -> FrozenSet[KState]:
+        return frozenset(self._preds.get(state, ()))
+
+    def rank(self, state: KState) -> int:
+        return self._rank[state]
+
+    def is_sink(self, state: KState) -> bool:
+        return self._succ[state] == (state,)
+
+    def __contains__(self, state: KState) -> bool:
+        return state in self._succ
+
+    # ------------------------------------------------------------------
+    # transition computation
+    # ------------------------------------------------------------------
+    def _compute_succ(self, state: KState) -> Tuple[KState, ...]:
+        """Successors of ``state`` under the current configuration."""
+        if state.is_sink:
+            return (state,)
+        hops = next_hops(self.topology, self._config, state.node, state.tc, state.port)
+        if not hops:
+            return (_drop(state.node, state.port, state.tc),)
+        out: List[KState] = []
+        for node, port, out_tc in hops:
+            if out_tc.fields != state.tc.fields:
+                raise ConfigurationError(
+                    "packet rewrites across traffic classes are not supported "
+                    f"(rule on {state.node!r} rewrites {state.tc} to {out_tc})"
+                )
+            if self.topology.is_host(node):
+                out.append(_host(node, state.tc))
+            else:
+                out.append(_loc(node, port, state.tc))
+        return tuple(out)
+
+    def _build_from(self, seeds: Iterable[KState]) -> List[KState]:
+        """Create all states reachable from ``seeds`` that do not exist yet.
+
+        Iterative DFS with cycle detection; newly created states get ranks
+        computed post-order.  Returns the list of created states.
+        """
+        created: List[KState] = []
+        on_stack: Set[KState] = set()
+        # stack entries: (state, child_index); succ computed on first visit
+        stack: List[List] = []
+        order: List[KState] = []  # post-order of created states
+
+        def enter(state: KState) -> None:
+            if state in self._succ:
+                return
+            succ = self._compute_succ(state)
+            self._succ[state] = succ
+            self._preds.setdefault(state, set())
+            for child in succ:
+                self._preds.setdefault(child, set()).add(state)
+            created.append(state)
+            on_stack.add(state)
+            stack.append([state, 0])
+
+        for seed in seeds:
+            if seed in self._succ:
+                continue
+            enter(seed)
+            while stack:
+                frame = stack[-1]
+                state, child_index = frame
+                succ = self._succ[state]
+                if child_index < len(succ):
+                    frame[1] += 1
+                    child = succ[child_index]
+                    if child is state:
+                        continue  # sink self-loop
+                    if child in on_stack:
+                        cycle = self._extract_cycle(stack, child)
+                        raise ForwardingLoopError(
+                            f"forwarding loop for class {state.tc.name}", cycle
+                        )
+                    if child not in self._succ:
+                        enter(child)
+                else:
+                    stack.pop()
+                    on_stack.discard(state)
+                    order.append(state)
+        for state in order:
+            self._recompute_rank(state)
+        return created
+
+    @staticmethod
+    def _extract_cycle(stack: List[List], entry: KState) -> List[KState]:
+        cycle = [entry]
+        for frame in reversed(stack):
+            cycle.append(frame[0])
+            if frame[0] is entry or frame[0] == entry:
+                break
+        cycle.reverse()
+        return cycle
+
+    def _recompute_rank(self, state: KState) -> bool:
+        """Recompute ``state``'s rank; True if it changed."""
+        succ = self._succ[state]
+        if succ == (state,):
+            new_rank = 0
+        else:
+            new_rank = 1 + max(self._rank[s] for s in succ)
+        if self._rank.get(state) == new_rank:
+            return False
+        self._rank[state] = new_rank
+        return True
+
+    def _propagate_ranks(self, seeds: Iterable[KState]) -> None:
+        worklist = list(seeds)
+        seen_rounds = 0
+        limit = 4 * (len(self._succ) + 1) * (len(self._succ) + 1)
+        while worklist:
+            seen_rounds += 1
+            if seen_rounds > limit:  # pragma: no cover - defensive
+                raise ForwardingLoopError("rank propagation did not converge")
+            state = worklist.pop()
+            if self._recompute_rank(state):
+                worklist.extend(self._preds.get(state, ()))
+
+    # ------------------------------------------------------------------
+    # cycle detection after an update
+    # ------------------------------------------------------------------
+    def _check_acyclic_from(self, seeds: Iterable[KState]) -> None:
+        """DFS from ``seeds``; raise ForwardingLoopError on a cycle."""
+        color: Dict[KState, int] = {}  # 1 = on stack, 2 = done
+        for seed in seeds:
+            if color.get(seed) == 2:
+                continue
+            stack: List[List] = [[seed, 0]]
+            color[seed] = 1
+            while stack:
+                frame = stack[-1]
+                state, child_index = frame
+                succ = self._succ[state]
+                if child_index < len(succ):
+                    frame[1] += 1
+                    child = succ[child_index]
+                    if child == state:
+                        continue
+                    child_color = color.get(child, 0)
+                    if child_color == 1:
+                        cycle = [child] + [f[0] for f in stack[[f[0] for f in stack].index(child):]]
+                        raise ForwardingLoopError(
+                            f"forwarding loop for class {state.tc.name}", cycle
+                        )
+                    if child_color == 0:
+                        color[child] = 1
+                        stack.append([child, 0])
+                else:
+                    stack.pop()
+                    color[state] = 2
+
+    # ------------------------------------------------------------------
+    # updates (the paper's swUpdate)
+    # ------------------------------------------------------------------
+    def update_switch(self, switch: NodeId, table: Table) -> List[KState]:
+        """Replace ``switch``'s table; return the dirty states.
+
+        Dirty states are the existing ``loc`` states of ``switch`` whose
+        outgoing transitions changed, plus any newly created states.  If the
+        new configuration contains a forwarding loop, the structure is left
+        *updated* (cyclic) and :class:`ForwardingLoopError` is raised; revert
+        by calling ``update_switch`` again with the old table.
+        """
+        self._config = self._config.with_table(switch, table)
+        affected = [
+            s for s in list(self._succ) if s.kind == "loc" and s.node == switch
+        ]
+        return self._retarget(affected)
+
+    def update_class_rules(
+        self, switch: NodeId, tc: TrafficClass, class_table: Table
+    ) -> List[KState]:
+        """Rule-granularity update: replace only ``tc``'s rules on ``switch``.
+
+        ``class_table`` supplies the new rules for the class; rules of other
+        classes on the switch are kept.
+        """
+        old = self._config.table(switch)
+        kept = old.restrict(lambda r: not rule_covers_class(r, tc))
+        new_rules = [r for r in class_table if rule_covers_class(r, tc)]
+        merged = Table(tuple(kept) + tuple(new_rules))
+        self._config = self._config.with_table(switch, merged)
+        affected = [
+            s
+            for s in list(self._succ)
+            if s.kind == "loc" and s.node == switch and s.tc == tc
+        ]
+        return self._retarget(affected)
+
+    def _retarget(self, affected: Sequence[KState]) -> List[KState]:
+        """Recompute transitions of ``affected``; return dirty states."""
+        dirty: List[KState] = []
+        changed: List[KState] = []
+        for state in affected:
+            new_succ = self._compute_succ(state)
+            old_succ = self._succ[state]
+            if new_succ == old_succ:
+                continue
+            for child in old_succ:
+                if child != state:
+                    self._preds[child].discard(state)
+            self._succ[state] = new_succ
+            created = self._build_from([c for c in new_succ if c not in self._succ])
+            for child in new_succ:
+                if child != state:
+                    self._preds.setdefault(child, set()).add(state)
+            changed.append(state)
+            dirty.append(state)
+            dirty.extend(created)
+        if changed:
+            # a loop, if any, must pass through a changed state
+            self._check_acyclic_from(changed)
+            self._propagate_ranks(changed)
+        return dirty
+
+    # ------------------------------------------------------------------
+    # path enumeration (for the reference semantics and tests)
+    # ------------------------------------------------------------------
+    def maximal_paths(self, limit: int = 100000) -> List[List[KState]]:
+        """All maximal simple paths from initial states to sinks.
+
+        Exponential in general; intended for tests and small examples only.
+        """
+        paths: List[List[KState]] = []
+
+        def walk(state: KState, acc: List[KState]) -> None:
+            if len(paths) >= limit:
+                return
+            acc.append(state)
+            if self.is_sink(state):
+                paths.append(list(acc))
+            else:
+                for child in self._succ[state]:
+                    walk(child, acc)
+            acc.pop()
+
+        for init in self._initial:
+            walk(init, [])
+        return paths
+
+    def reachable_switches(self, tc: TrafficClass) -> FrozenSet[NodeId]:
+        """Switches reachable by class ``tc`` in the current configuration."""
+        seen: Set[NodeId] = set()
+        stack = [s for s in self._initial if s.tc == tc]
+        visited: Set[KState] = set()
+        while stack:
+            state = stack.pop()
+            if state in visited:
+                continue
+            visited.add(state)
+            if state.kind == "loc":
+                seen.add(state.node)
+            for child in self._succ[state]:
+                if child not in visited:
+                    stack.append(child)
+        return frozenset(seen)
+
+    def __str__(self) -> str:
+        return (
+            f"KripkeStructure({self.num_states()} states, "
+            f"{len(self._initial)} initial, {len(self._ingresses)} classes)"
+        )
+
+
+def rule_covers_class(rule, tc: TrafficClass) -> bool:
+    """Does ``rule`` apply to packets of class ``tc``?
+
+    A rule covers a class when its field constraints are consistent with the
+    class's fields (field-wildcard rules cover every class).
+    """
+    tc_fields = tc.field_map()
+    for key, value in rule.pattern.fields:
+        if key in tc_fields and tc_fields[key] != value:
+            return False
+    return True

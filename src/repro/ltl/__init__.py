@@ -1,0 +1,62 @@
+"""Linear Temporal Logic: syntax, parsing, semantics, and network properties."""
+
+from repro.ltl.atoms import At, AtPort, Atom, Dropped, FieldIs, StateView
+from repro.ltl.closure import Closure
+from repro.ltl.parser import parse
+from repro.ltl.semantics import evaluate
+from repro.ltl.syntax import (
+    And,
+    FALSE,
+    Ff,
+    Formula,
+    Next,
+    NotProp,
+    Or,
+    Prop,
+    Release,
+    TRUE,
+    Tt,
+    Until,
+    atoms_of,
+    conj,
+    disj,
+    F,
+    G,
+    implies,
+    iter_subterms,
+    negate,
+)
+from repro.ltl import specs
+
+__all__ = [
+    "Atom",
+    "At",
+    "AtPort",
+    "FieldIs",
+    "Dropped",
+    "StateView",
+    "Closure",
+    "parse",
+    "evaluate",
+    "Formula",
+    "Tt",
+    "Ff",
+    "Prop",
+    "NotProp",
+    "And",
+    "Or",
+    "Next",
+    "Until",
+    "Release",
+    "TRUE",
+    "FALSE",
+    "conj",
+    "disj",
+    "F",
+    "G",
+    "implies",
+    "negate",
+    "atoms_of",
+    "iter_subterms",
+    "specs",
+]

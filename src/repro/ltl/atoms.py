@@ -1,0 +1,95 @@
+"""Atomic propositions over packet observations.
+
+The paper's atomic propositions test "the value of a switch, port, or packet
+field" (§3.2).  An atom is evaluated against a *state view*: any object with
+``node`` (switch or host identifier), ``port`` (int or ``None``), ``tc`` (the
+:class:`~repro.net.fields.TrafficClass`), and ``dropped`` (bool) attributes.
+Both Kripke states and operational-machine observations provide this
+interface, so the same specification can be checked statically (model
+checking) and dynamically (replaying traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.fields import FieldName, FieldValue
+from repro.net.topology import NodeId, Port
+
+
+@dataclass(frozen=True)
+class StateView:
+    """A concrete packet observation: where a packet is and what it is."""
+
+    node: NodeId
+    port: Optional[Port]
+    tc: "object"  # TrafficClass; typed loosely to avoid an import cycle
+    dropped: bool = False
+
+
+class Atom:
+    """Base class for atomic propositions."""
+
+    __slots__ = ()
+
+    def holds(self, state) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class At(Atom):
+    """True when the packet is at switch/host ``node`` (any port).
+
+    This is the paper's ``port = s`` proposition at node granularity, which
+    is what the evaluation's reachability/waypointing/service-chaining
+    specifications use.
+    """
+
+    node: NodeId
+
+    def holds(self, state) -> bool:
+        return state.node == self.node
+
+    def __str__(self) -> str:
+        return f"at({self.node})"
+
+
+@dataclass(frozen=True)
+class AtPort(Atom):
+    """True when the packet is at the given switch *and* port."""
+
+    node: NodeId
+    port: Port
+
+    def holds(self, state) -> bool:
+        return state.node == self.node and state.port == self.port
+
+    def __str__(self) -> str:
+        return f"at({self.node}:{self.port})"
+
+
+@dataclass(frozen=True)
+class FieldIs(Atom):
+    """True when the packet's header field ``field`` equals ``value``."""
+
+    field: FieldName
+    value: FieldValue
+
+    def holds(self, state) -> bool:
+        tc = state.tc
+        return tc is not None and tc.get(self.field) == self.value
+
+    def __str__(self) -> str:
+        return f"{self.field}={self.value}"
+
+
+@dataclass(frozen=True)
+class Dropped(Atom):
+    """True when the packet has been dropped (blackhole sink)."""
+
+    def holds(self, state) -> bool:
+        return bool(state.dropped)
+
+    def __str__(self) -> str:
+        return "dropped"

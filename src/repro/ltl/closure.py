@@ -1,0 +1,78 @@
+"""Subformula closure, ordered for bottom-up truth evaluation.
+
+Section 5.1 of the paper works with the *extended closure* ``ecl(phi)``
+(all subformulas and their negations) and maximally-consistent subsets of it.
+Because a maximally-consistent set contains ``psi`` or ``!psi`` for every
+subformula (never both), it is exactly a truth assignment over the positive
+closure ``cl(phi)``.  This module computes ``cl(phi)`` in evaluation order:
+every formula appears after its direct subformulas, so a single left-to-right
+pass can evaluate the boolean layer once atoms and temporal successors are
+known (see :mod:`repro.mc.labeling`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ltl.syntax import (
+    And,
+    Formula,
+    Next,
+    NotProp,
+    Or,
+    Prop,
+    Release,
+    Tt,
+    Ff,
+    Until,
+)
+
+
+class Closure:
+    """The positive subformula closure of a formula, in bottom-up order.
+
+    Attributes:
+        formula: the root formula.
+        order: subformulas, children before parents, root last.
+        index: formula -> position in ``order``.
+        temporal: the U/R/X subformulas (the "free bits" of an assignment).
+    """
+
+    __slots__ = ("formula", "order", "index", "temporal")
+
+    def __init__(self, formula: Formula):
+        self.formula = formula
+        self.order: List[Formula] = []
+        self.index: Dict[Formula, int] = {}
+        self._collect(formula)
+        self.order = sorted(self.index, key=self.index.get)
+        self.temporal: Tuple[Formula, ...] = tuple(
+            f for f in self.order if isinstance(f, (Next, Until, Release))
+        )
+
+    def _collect(self, formula: Formula) -> None:
+        """Post-order collection so children precede parents in ``index``."""
+        stack: List[Tuple[Formula, bool]] = [(formula, False)]
+        while stack:
+            f, expanded = stack.pop()
+            if f in self.index:
+                continue
+            if expanded or isinstance(f, (Tt, Ff, Prop, NotProp)):
+                if f not in self.index:
+                    self.index[f] = len(self.index)
+                continue
+            stack.append((f, True))
+            if isinstance(f, (And, Or, Until, Release)):
+                stack.append((f.right, False))
+                stack.append((f.left, False))
+            elif isinstance(f, Next):
+                stack.append((f.sub, False))
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __contains__(self, formula: Formula) -> bool:
+        return formula in self.index
+
+    def __str__(self) -> str:
+        return f"Closure(|cl|={len(self.order)}, temporal={len(self.temporal)})"

@@ -1,0 +1,208 @@
+"""A small concrete syntax for LTL specifications.
+
+Grammar (lowest to highest precedence)::
+
+    formula  := orexpr ('=>' formula)?              -- right associative
+    orexpr   := andexpr (('|' | 'or') andexpr)*
+    andexpr  := untilexpr (('&' | 'and') untilexpr)*
+    untilexpr:= unary (('U' | 'R') untilexpr)?      -- right associative
+    unary    := ('!' | 'X' | 'F' | 'G') unary | primary
+    primary  := 'true' | 'false' | 'dropped'
+              | 'at' '(' NAME (':' INT)? ')'
+              | NAME '=' NAME                        -- header field test
+              | '(' formula ')'
+
+Examples::
+
+    at(H1) => F at(H3)
+    dst=H3 => (!at(H3) U (at(A3) & F at(H3)))
+    G !dropped
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.errors import ParseError
+from repro.ltl.atoms import At, AtPort, Dropped, FieldIs
+from repro.ltl.syntax import (
+    FALSE,
+    Formula,
+    Next,
+    Prop,
+    Release,
+    TRUE,
+    Until,
+    conj,
+    disj,
+    F,
+    G,
+    implies,
+    negate,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<implies>=>)
+  | (?P<or>\|\||\|)
+  | (?P<and>&&|&)
+  | (?P<not>!)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<colon>:)
+  | (?P<eq>=)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<num>\d+)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORD_UNARY = {"X": Next, "F": F, "G": G}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.at = 0
+
+    def peek(self) -> Optional[_Token]:
+        return self.tokens[self.at] if self.at < len(self.tokens) else None
+
+    def pop(self, kind: Optional[str] = None) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of formula in {self.text!r}")
+        if kind is not None and token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.text!r} at offset {token.pos}"
+            )
+        self.at += 1
+        return token
+
+    def eat_name(self, expected: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "name" and token.text == expected:
+            self.at += 1
+            return True
+        return False
+
+    # grammar ----------------------------------------------------------
+    def formula(self) -> Formula:
+        left = self.orexpr()
+        token = self.peek()
+        if token is not None and token.kind == "implies":
+            self.pop()
+            return implies(left, self.formula())
+        return left
+
+    def orexpr(self) -> Formula:
+        left = self.andexpr()
+        while True:
+            token = self.peek()
+            if token is not None and (token.kind == "or" or (token.kind == "name" and token.text == "or")):
+                self.pop()
+                left = disj(left, self.andexpr())
+            else:
+                return left
+
+    def andexpr(self) -> Formula:
+        left = self.untilexpr()
+        while True:
+            token = self.peek()
+            if token is not None and (token.kind == "and" or (token.kind == "name" and token.text == "and")):
+                self.pop()
+                left = conj(left, self.untilexpr())
+            else:
+                return left
+
+    def untilexpr(self) -> Formula:
+        left = self.unary()
+        token = self.peek()
+        if token is not None and token.kind == "name" and token.text in ("U", "R"):
+            op = self.pop().text
+            right = self.untilexpr()
+            return Until(left, right) if op == "U" else Release(left, right)
+        return left
+
+    def unary(self) -> Formula:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of formula in {self.text!r}")
+        if token.kind == "not":
+            self.pop()
+            return negate(self.unary())
+        if token.kind == "name" and token.text in _KEYWORD_UNARY:
+            self.pop()
+            return _KEYWORD_UNARY[token.text](self.unary())
+        return self.primary()
+
+    def primary(self) -> Formula:
+        token = self.pop()
+        if token.kind == "lpar":
+            inner = self.formula()
+            self.pop("rpar")
+            return inner
+        if token.kind == "name":
+            if token.text == "true":
+                return TRUE
+            if token.text == "false":
+                return FALSE
+            if token.text == "dropped":
+                return Prop(Dropped())
+            if token.text == "at":
+                self.pop("lpar")
+                node = self.pop("name").text
+                nxt = self.peek()
+                if nxt is not None and nxt.kind == "colon":
+                    self.pop()
+                    port = int(self.pop("num").text)
+                    self.pop("rpar")
+                    return Prop(AtPort(node, port))
+                self.pop("rpar")
+                return Prop(At(node))
+            # field test: name = value
+            nxt = self.peek()
+            if nxt is not None and nxt.kind == "eq":
+                self.pop()
+                value = self.pop()
+                if value.kind not in ("name", "num"):
+                    raise ParseError(f"bad field value {value.text!r} at {value.pos}")
+                return Prop(FieldIs(token.text, value.text))
+            raise ParseError(f"unknown proposition {token.text!r} at offset {token.pos}")
+        raise ParseError(f"unexpected token {token.text!r} at offset {token.pos}")
+
+
+def parse(text: str) -> Formula:
+    """Parse ``text`` into an NNF :class:`~repro.ltl.syntax.Formula`."""
+    parser = _Parser(text)
+    result = parser.formula()
+    leftover = parser.peek()
+    if leftover is not None:
+        raise ParseError(
+            f"trailing input {leftover.text!r} at offset {leftover.pos} in {text!r}"
+        )
+    return result

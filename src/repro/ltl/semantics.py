@@ -1,0 +1,87 @@
+"""Reference LTL semantics over finite packet traces.
+
+A (finite) single-packet trace is viewed as an infinite sequence in which the
+final observation repeats forever (§3.2).  This module evaluates a formula
+directly over such a trace by recursion with memoization.  It is the
+*specification* against which the labeling-based model checkers are tested:
+property tests assert that checking a Kripke structure agrees with evaluating
+every maximal path using this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.ltl.syntax import (
+    And,
+    Ff,
+    Formula,
+    Next,
+    NotProp,
+    Or,
+    Prop,
+    Release,
+    Tt,
+    Until,
+)
+
+
+def evaluate(formula: Formula, trace: Sequence[object]) -> bool:
+    """Does ``trace`` (last state repeating) satisfy ``formula``?
+
+    ``trace`` elements are state views (see :mod:`repro.ltl.atoms`).
+    """
+    if not trace:
+        raise ValueError("cannot evaluate a formula over an empty trace")
+    last = len(trace) - 1
+    memo: Dict[Tuple[int, Formula], bool] = {}
+
+    def ev(i: int, f: Formula) -> bool:
+        key = (i, f)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        result = _ev(i, f)
+        memo[key] = result
+        return result
+
+    def _ev(i: int, f: Formula) -> bool:
+        if isinstance(f, Tt):
+            return True
+        if isinstance(f, Ff):
+            return False
+        if isinstance(f, Prop):
+            return f.atom.holds(trace[i])
+        if isinstance(f, NotProp):
+            return not f.atom.holds(trace[i])
+        if isinstance(f, And):
+            return ev(i, f.left) and ev(i, f.right)
+        if isinstance(f, Or):
+            return ev(i, f.left) or ev(i, f.right)
+        if isinstance(f, Next):
+            return ev(min(i + 1, last), f.sub)
+        if isinstance(f, Until):
+            # iterative to avoid deep recursion on long traces
+            for j in range(i, last + 1):
+                if ev(j, f.right):
+                    return True
+                if not ev(j, f.left):
+                    return False
+            # suffix is trace[last] forever; right never held
+            return False
+        if isinstance(f, Release):
+            for j in range(i, last + 1):
+                if not ev(j, f.right):
+                    return False
+                if ev(j, f.left):
+                    return True
+            # right holds forever on the lasso
+            return True
+        raise TypeError(f"unknown formula {f!r}")
+
+    return ev(0, formula)
+
+
+def satisfying_positions(formula: Formula, trace: Sequence[object]) -> List[int]:
+    """Positions ``i`` such that the suffix ``trace[i:]`` satisfies ``formula``."""
+    return [i for i in range(len(trace)) if evaluate(formula, trace[i:])]

@@ -1,0 +1,141 @@
+"""The property library used in the paper's evaluation (§6).
+
+A specification guards each property by the traffic class it concerns (the
+paper's ``port = s`` antecedent): traces of other classes satisfy the guard
+vacuously, so one formula can constrain many flows at once via conjunction.
+
+The three headline properties:
+
+* :func:`reachability` — ``guard => F at(d)``
+* :func:`waypoint` — ``guard => (!at(d) U (at(w) & F at(d)))``
+* :func:`service_chain` — the paper's ``way(W, d)`` recursion
+
+plus the "canned" properties other systems special-case
+(:func:`blackhole_freedom`, :func:`isolation`) and combinators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.ltl.atoms import At, Dropped, FieldIs
+from repro.ltl.syntax import (
+    Formula,
+    NotProp,
+    Prop,
+    TRUE,
+    Until,
+    conj,
+    disj,
+    F,
+    G,
+    implies,
+    negate,
+)
+from repro.net.fields import TrafficClass
+from repro.net.topology import NodeId
+
+
+def class_guard(tc: TrafficClass) -> Formula:
+    """A formula true exactly on packets of traffic class ``tc``.
+
+    Evaluated at the first state of a trace, it identifies the class (header
+    fields never change along a trace in the current model).
+    """
+    return conj(*(Prop(FieldIs(k, v)) for k, v in tc.fields))
+
+
+def reachability(tc: TrafficClass, dst: NodeId) -> Formula:
+    """Traffic of ``tc`` must eventually reach ``dst``: ``guard => F at(d)``."""
+    return implies(class_guard(tc), F(Prop(At(dst))))
+
+
+def waypoint(tc: TrafficClass, way: NodeId, dst: NodeId) -> Formula:
+    """Traffic must traverse ``way`` before reaching ``dst``.
+
+    The paper's ``(port=s) => ((port!=d) U ((port=w) & F (port=d)))``.
+    """
+    body = Until(
+        NotProp(At(dst)),
+        conj(Prop(At(way)), F(Prop(At(dst)))),
+    )
+    return implies(class_guard(tc), body)
+
+
+def _way(waypoints: Sequence[NodeId], dst: NodeId) -> Formula:
+    """The paper's ``way(W, d)`` recursion for service chaining."""
+    if not waypoints:
+        return F(Prop(At(dst)))
+    head, rest = waypoints[0], waypoints[1:]
+    avoid = conj(
+        *[NotProp(At(w)) for w in rest],
+        NotProp(At(dst)),
+    )
+    return Until(avoid, conj(Prop(At(head)), _way(rest, dst)))
+
+
+def service_chain(tc: TrafficClass, waypoints: Sequence[NodeId], dst: NodeId) -> Formula:
+    """Traffic must visit ``waypoints`` in order, then reach ``dst``."""
+    return implies(class_guard(tc), _way(list(waypoints), dst))
+
+
+def waypoint_choice(tc: TrafficClass, ways: Sequence[NodeId], dst: NodeId) -> Formula:
+    """Traffic must traverse at least one of ``ways`` and reach ``dst``.
+
+    This is the overview example's "every packet traverses either A2 or A3"
+    property combined with connectivity.
+    """
+    visit_one = disj(*(F(Prop(At(w))) for w in ways))
+    return implies(class_guard(tc), conj(visit_one, F(Prop(At(dst)))))
+
+
+def blackhole_freedom(tc: Optional[TrafficClass] = None) -> Formula:
+    """No packet (of ``tc``, or of any class if ``None``) is ever dropped."""
+    body = G(NotProp(Dropped()))
+    if tc is None:
+        return body
+    return implies(class_guard(tc), body)
+
+
+def isolation(tc: TrafficClass, forbidden: NodeId) -> Formula:
+    """Traffic of ``tc`` never visits ``forbidden`` (access control)."""
+    return implies(class_guard(tc), G(NotProp(At(forbidden))))
+
+
+def on_path(tc: TrafficClass, path: Sequence[NodeId], dst: NodeId) -> Formula:
+    """Traffic visits every switch of ``path`` (in any order) and reaches
+    ``dst`` — the footprint of following ``path`` end to end."""
+    visits = [F(Prop(At(node))) for node in path]
+    visits.append(F(Prop(At(dst))))
+    return conj(*visits)
+
+
+def path_consistency(
+    tc: TrafficClass,
+    old_path: Sequence[NodeId],
+    new_path: Sequence[NodeId],
+    dst: NodeId,
+) -> Formula:
+    """Per-packet consistency as an LTL property (§2).
+
+    Every packet follows the footprint of the old path or of the new path —
+    never a mixture.  This is how the paper argues the red->blue transition
+    of Figure 1 is impossible by pure ordering: the distinguishing cores of
+    the two paths may not be combined.  Synthesizing against this property
+    approximates a consistent update without version tags (and fails,
+    correctly, whenever only mixed intermediate paths exist).
+    """
+    return implies(
+        class_guard(tc),
+        disj(on_path(tc, old_path, dst), on_path(tc, new_path, dst)),
+    )
+
+
+def all_of(specs: Iterable[Formula]) -> Formula:
+    """Conjunction of specifications (e.g. one property per flow)."""
+    return conj(*specs)
+
+
+def any_of(specs: Iterable[Formula]) -> Formula:
+    """Disjunction of specifications."""
+    return disj(*specs)

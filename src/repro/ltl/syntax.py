@@ -1,0 +1,215 @@
+"""LTL abstract syntax in negation normal form (NNF).
+
+Following §3.2, a formula is ``true``, ``false``, an atomic proposition ``p``,
+a negated proposition ``!p``, a conjunction or disjunction, or one of the
+temporal operators ``X`` (next), ``U`` (until), ``R`` (release).  ``F`` and
+``G`` are sugar (:func:`F`, :func:`G`), as is implication (:func:`implies`).
+
+Formulas are immutable, hash-consed enough for dictionary use, and negation
+(:func:`negate`) dualizes connectives to stay in NNF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Set, Tuple
+
+from repro.ltl.atoms import Atom
+
+
+class Formula:
+    """Base class of LTL formulas (NNF)."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return conj(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disj(self, other)
+
+    def __invert__(self) -> "Formula":
+        return negate(self)
+
+    def size(self) -> int:
+        """Number of AST nodes (a proxy for ``|phi|``)."""
+        return sum(1 for _ in iter_subterms(self))
+
+
+@dataclass(frozen=True)
+class Tt(Formula):
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Ff(Formula):
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Prop(Formula):
+    """A positive atomic proposition."""
+
+    atom: Atom
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class NotProp(Formula):
+    """A negated atomic proposition (the only negation allowed in NNF)."""
+
+    atom: Atom
+
+    def __str__(self) -> str:
+        return f"!{self.atom}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    sub: Formula
+
+    def __str__(self) -> str:
+        return f"X {self.sub}"
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} U {self.right})"
+
+
+@dataclass(frozen=True)
+class Release(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} R {self.right})"
+
+
+TRUE = Tt()
+FALSE = Ff()
+
+
+# ----------------------------------------------------------------------
+# smart constructors and sugar
+# ----------------------------------------------------------------------
+def prop(atom: Atom) -> Formula:
+    return Prop(atom)
+
+
+def conj(*formulas: Formula) -> Formula:
+    """N-ary conjunction with unit/absorbing simplification."""
+    acc: Formula = TRUE
+    for f in formulas:
+        if isinstance(f, Ff):
+            return FALSE
+        if isinstance(f, Tt):
+            continue
+        acc = f if isinstance(acc, Tt) else And(acc, f)
+    return acc
+
+
+def disj(*formulas: Formula) -> Formula:
+    """N-ary disjunction with unit/absorbing simplification."""
+    acc: Formula = FALSE
+    for f in formulas:
+        if isinstance(f, Tt):
+            return TRUE
+        if isinstance(f, Ff):
+            continue
+        acc = f if isinstance(acc, Ff) else Or(acc, f)
+    return acc
+
+
+def F(sub: Formula) -> Formula:
+    """Eventually: ``F phi == true U phi``."""
+    return Until(TRUE, sub)
+
+
+def G(sub: Formula) -> Formula:
+    """Globally: ``G phi == false R phi``."""
+    return Release(FALSE, sub)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    """``a => b`` desugared to ``!a | b`` (negation pushed to NNF)."""
+    return disj(negate(antecedent), consequent)
+
+
+def negate(formula: Formula) -> Formula:
+    """Dualize ``formula``, keeping the result in NNF."""
+    if isinstance(formula, Tt):
+        return FALSE
+    if isinstance(formula, Ff):
+        return TRUE
+    if isinstance(formula, Prop):
+        return NotProp(formula.atom)
+    if isinstance(formula, NotProp):
+        return Prop(formula.atom)
+    if isinstance(formula, And):
+        return Or(negate(formula.left), negate(formula.right))
+    if isinstance(formula, Or):
+        return And(negate(formula.left), negate(formula.right))
+    if isinstance(formula, Next):
+        return Next(negate(formula.sub))
+    if isinstance(formula, Until):
+        return Release(negate(formula.left), negate(formula.right))
+    if isinstance(formula, Release):
+        return Until(negate(formula.left), negate(formula.right))
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+# ----------------------------------------------------------------------
+# traversal
+# ----------------------------------------------------------------------
+def iter_subterms(formula: Formula) -> Iterator[Formula]:
+    """All subformulas of ``formula`` (including itself), preorder."""
+    stack = [formula]
+    while stack:
+        f = stack.pop()
+        yield f
+        if isinstance(f, (And, Or, Until, Release)):
+            stack.append(f.left)
+            stack.append(f.right)
+        elif isinstance(f, Next):
+            stack.append(f.sub)
+
+
+def atoms_of(formula: Formula) -> FrozenSet[Atom]:
+    """The atomic propositions mentioned in ``formula``."""
+    found: Set[Atom] = set()
+    for sub in iter_subterms(formula):
+        if isinstance(sub, (Prop, NotProp)):
+            found.add(sub.atom)
+    return frozenset(found)
+
+
+def is_temporal(formula: Formula) -> bool:
+    """True for X / U / R nodes (the formulas ``follows`` constrains)."""
+    return isinstance(formula, (Next, Until, Release))

@@ -1,0 +1,34 @@
+"""Model checkers: incremental (the paper's §5), batch, and automaton-based.
+
+All checkers answer the same question — does every trace of the current
+Kripke structure from an initial state satisfy the specification? — but with
+different algorithms and different incremental behaviour:
+
+* :class:`~repro.mc.incremental.IncrementalChecker` — the paper's
+  contribution: WVS-style state labeling, re-labeling only dirty states and
+  their ancestors after an update.
+* :class:`~repro.mc.batch.BatchChecker` — the same labeling recomputed from
+  scratch on every query (the paper's "Batch" backend).
+* :class:`~repro.mc.automaton.AutomatonChecker` — an automata-theoretic batch
+  checker (LTL tableau + product + SCC emptiness), standing in for NuSMV.
+* :class:`~repro.mc.netplumber.NetPlumberChecker` — a header-space
+  incremental checker (see :mod:`repro.hsa`), standing in for NetPlumber.
+"""
+
+from repro.mc.interface import CheckResult, ModelChecker, make_checker
+from repro.mc.labeling import LabelEngine
+from repro.mc.incremental import IncrementalChecker
+from repro.mc.batch import BatchChecker
+from repro.mc.automaton import AutomatonChecker
+from repro.mc.symbolic import SymbolicChecker
+
+__all__ = [
+    "CheckResult",
+    "ModelChecker",
+    "make_checker",
+    "LabelEngine",
+    "IncrementalChecker",
+    "BatchChecker",
+    "AutomatonChecker",
+    "SymbolicChecker",
+]

@@ -1,0 +1,72 @@
+"""Common checker interface and result record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence
+
+from repro.kripke.structure import KState
+
+
+@dataclass
+class CheckResult:
+    """Verdict of a model-checking query.
+
+    ``counterexample`` is a (finite prefix of a) violating trace as a list of
+    Kripke states, when the backend produces one; loop violations carry the
+    offending cycle.  ``ok`` and a ``None`` counterexample together mean the
+    property holds.
+    """
+
+    ok: bool
+    counterexample: Optional[List[KState]] = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class ModelChecker(Protocol):
+    """What the synthesis search needs from a checker backend.
+
+    The search owns the Kripke structure and mutates it via
+    ``update_switch`` / ``update_class_rules``; after each mutation it hands
+    the dirty-state list to :meth:`apply_update` so the backend can refresh
+    whatever bookkeeping it keeps, then reads the verdict.
+    """
+
+    name: str
+
+    def full_check(self) -> CheckResult:
+        """(Re)check from scratch; used once at the start of synthesis."""
+        ...
+
+    def apply_update(self, dirty: Sequence[KState]) -> CheckResult:
+        """Refresh after a structure mutation and return the new verdict."""
+        ...
+
+
+def make_checker(kind: str, structure, formula) -> "ModelChecker":
+    """Construct a checker backend by name.
+
+    ``kind`` is one of ``"incremental"``, ``"batch"``, ``"automaton"``
+    (explicit-state product), ``"symbolic"`` (BDD-based, alias ``"nusmv"``),
+    or ``"netplumber"``.
+    """
+    from repro.mc.automaton import AutomatonChecker
+    from repro.mc.batch import BatchChecker
+    from repro.mc.incremental import IncrementalChecker
+    from repro.mc.netplumber import NetPlumberChecker
+    from repro.mc.symbolic import SymbolicChecker
+
+    kind = kind.lower()
+    if kind == "incremental":
+        return IncrementalChecker(structure, formula)
+    if kind == "batch":
+        return BatchChecker(structure, formula)
+    if kind == "automaton":
+        return AutomatonChecker(structure, formula)
+    if kind in ("symbolic", "nusmv"):
+        return SymbolicChecker(structure, formula)
+    if kind == "netplumber":
+        return NetPlumberChecker(structure, formula)
+    raise ValueError(f"unknown checker backend {kind!r}")

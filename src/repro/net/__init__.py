@@ -1,0 +1,49 @@
+"""Network substrate: packets, rules, topologies, configurations, semantics.
+
+This package implements the formal network model of Section 3 of the paper:
+forwarding tables with prioritized rules, a topology of switches/hosts/links,
+static configurations, controller commands, and the small-step operational
+semantics (chemical abstract machine style) used to define single-packet
+traces.
+"""
+
+from repro.net.fields import Packet, TrafficClass
+from repro.net.rules import Action, Forward, SetField, Pattern, Rule, Table
+from repro.net.topology import Link, Topology
+from repro.net.config import Configuration, path_rules
+from repro.net.failures import fail_link, links_used
+from repro.net.commands import (
+    Command,
+    Flush,
+    Incr,
+    RuleGranUpdate,
+    SwitchUpdate,
+    Wait,
+    expand_waits,
+    is_careful,
+)
+
+__all__ = [
+    "Packet",
+    "TrafficClass",
+    "Action",
+    "Forward",
+    "SetField",
+    "Pattern",
+    "Rule",
+    "Table",
+    "Link",
+    "Topology",
+    "Configuration",
+    "path_rules",
+    "fail_link",
+    "links_used",
+    "Command",
+    "SwitchUpdate",
+    "RuleGranUpdate",
+    "Incr",
+    "Flush",
+    "Wait",
+    "expand_waits",
+    "is_careful",
+]

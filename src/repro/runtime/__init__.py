@@ -1,0 +1,31 @@
+"""Deployment runtime: OpenFlow-style switches, a discrete-event simulator,
+and the update strategies compared in Figure 2 (naive, two-phase, ordering).
+
+The paper demonstrates its synthesized updates on Mininet with OpenFlow
+switches, measuring (a) probe delivery during the transition and (b)
+per-switch rule overhead.  This package reproduces that pipeline offline: a
+tick-based simulator moves probe packets hop by hop while a controller
+strategy issues flow-mods (with realistic per-rule install latency) according
+to one of the three update disciplines.
+"""
+
+from repro.runtime.openflow import BarrierRequest, FlowMod, SwitchAgent
+from repro.runtime.simulator import ProbeStats, TickSimulator
+from repro.runtime.controller import (
+    NaiveStrategy,
+    OrderedStrategy,
+    TwoPhaseStrategy,
+    run_update_experiment,
+)
+
+__all__ = [
+    "FlowMod",
+    "BarrierRequest",
+    "SwitchAgent",
+    "TickSimulator",
+    "ProbeStats",
+    "NaiveStrategy",
+    "OrderedStrategy",
+    "TwoPhaseStrategy",
+    "run_update_experiment",
+]

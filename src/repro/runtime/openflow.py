@@ -1,0 +1,132 @@
+"""OpenFlow-style switch agents: flow-mods, barriers, install latency.
+
+Real switches modify TCAM rules slowly (the paper cites ~10ms per rule, and
+single-switch updates taking up to seconds).  :class:`SwitchAgent` models a
+switch's control channel: flow-mods queue up and are applied one per
+``install_latency`` ticks; a barrier completes only when the queue is empty.
+Rule-count history is recorded so experiments can measure the transient
+memory overhead of an update strategy (Figure 2(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from collections import deque
+
+from repro.net.rules import Rule, Table
+from repro.net.topology import NodeId
+
+
+@dataclass(frozen=True)
+class FlowMod:
+    """Add or remove one rule on a switch."""
+
+    op: str  # "add" | "remove"
+    rule: Rule
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.rule})"
+
+
+@dataclass(frozen=True)
+class BarrierRequest:
+    """Completes once all previously issued flow-mods are installed."""
+
+
+@dataclass(frozen=True)
+class AtomicBundle:
+    """An OpenFlow bundle: a whole-table replacement committed atomically.
+
+    Installation still takes time proportional to the number of rules that
+    change, but the data plane never sees a partial mix of old and new rules
+    (the paper models switch-granularity updates as atomic via bundles).
+    """
+
+    table: Table
+    work: int  # number of rule changes, determines install time
+
+
+class SwitchAgent:
+    """A switch's control-plane agent with install latency.
+
+    ``install_latency`` is the number of simulator ticks each flow-mod takes;
+    mods are applied FIFO, one at a time, mirroring OpenFlow switches that
+    serialize TCAM updates.
+    """
+
+    def __init__(self, switch: NodeId, table: Table, install_latency: int = 2):
+        self.switch = switch
+        self.install_latency = max(1, install_latency)
+        self._rules: List[Rule] = list(table.rules)
+        self._queue: Deque[FlowMod] = deque()
+        self._progress = 0
+        self.max_rules = len(self._rules)
+        self.mods_applied = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> Table:
+        return Table(self._rules)
+
+    def rule_count(self) -> int:
+        return len(self._rules)
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def barrier_done(self) -> bool:
+        return not self._queue
+
+    # ------------------------------------------------------------------
+    def enqueue(self, mod: FlowMod) -> None:
+        self._queue.append(mod)
+
+    def enqueue_atomic_replacement(self, new_table: Table) -> None:
+        """Queue a bundle that swaps the whole table atomically."""
+        current = set(self._rules)
+        target = set(new_table.rules)
+        work = len(target - current) + len(current - target)
+        self._queue.append(AtomicBundle(new_table, max(1, work)))
+
+    def enqueue_table_replacement(self, new_table: Table) -> None:
+        """Flow-mods that transform the current table into ``new_table``.
+
+        Adds are issued before removes so the switch never transiently lacks
+        both the old and the new rule (the standard make-before-break order;
+        the transient union is what costs TCAM space).
+        """
+        current = set(self._rules)
+        target = set(new_table.rules)
+        for rule in new_table.rules:
+            if rule not in current:
+                self.enqueue(FlowMod("add", rule))
+        for rule in self._rules:
+            if rule not in target:
+                self.enqueue(FlowMod("remove", rule))
+
+    def tick(self) -> None:
+        """Advance install progress by one tick."""
+        if not self._queue:
+            return
+        head = self._queue[0]
+        cost = self.install_latency
+        if isinstance(head, AtomicBundle):
+            cost = self.install_latency * head.work
+        self._progress += 1
+        if self._progress < cost:
+            return
+        self._progress = 0
+        mod = self._queue.popleft()
+        if isinstance(mod, AtomicBundle):
+            self._rules = list(mod.table.rules)
+        elif mod.op == "add":
+            self._rules.append(mod.rule)
+        else:
+            try:
+                self._rules.remove(mod.rule)
+            except ValueError:
+                pass  # removing a non-existent rule is a no-op, as in OpenFlow
+        self.mods_applied += 1
+        self.max_rules = max(self.max_rules, len(self._rules))

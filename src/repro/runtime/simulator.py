@@ -1,0 +1,189 @@
+"""Tick-based network simulator with probe traffic (the Mininet substitute).
+
+Each tick: hosts inject probe packets for their flows, every in-flight packet
+advances one hop (switch lookup against the *currently installed* table, then
+one link traversal), and switch agents make progress on queued flow-mods.
+Probes that are blackholed, loop past their TTL, or outlive their deadline
+count as lost — exactly the signal Figure 2(a) plots while an update strategy
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.net.config import Configuration
+from repro.net.fields import Packet, TrafficClass, packet_for_class
+from repro.net.rules import Table
+from repro.net.topology import NodeId, Port, Topology
+from repro.runtime.openflow import SwitchAgent
+
+
+@dataclass
+class _Probe:
+    tc: TrafficClass
+    seq: int
+    packet: Packet
+    node: NodeId
+    in_port: Optional[Port]
+    sent_tick: int
+    hops: int = 0
+
+
+@dataclass
+class ProbeStats:
+    """Per-flow probe accounting, bucketed by send tick."""
+
+    sent: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    received: Dict[Tuple[str, int], int] = field(default_factory=dict)
+
+    def delivery_series(self, bucket: int = 10) -> List[Tuple[int, float]]:
+        """(bucket start tick, delivered fraction) over time."""
+        if not self.sent:
+            return []
+        buckets: Dict[int, List[int]] = {}
+        for key, tick in self.sent.items():
+            slot = (tick // bucket) * bucket
+            ok = key in self.received
+            buckets.setdefault(slot, []).append(1 if ok else 0)
+        return [
+            (slot, sum(values) / len(values))
+            for slot, values in sorted(buckets.items())
+        ]
+
+    def loss_window(self) -> Tuple[int, int]:
+        """(#lost, #sent) overall."""
+        return (len(self.sent) - len(self.received), len(self.sent))
+
+
+class TickSimulator:
+    """Moves probes while switch agents install flow-mods."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Configuration,
+        flows: Mapping[TrafficClass, Tuple[NodeId, NodeId]],
+        *,
+        install_latency: int = 2,
+        probe_period: int = 1,
+        probe_ttl: int = 64,
+        probe_deadline: int = 200,
+    ):
+        self.topology = topology
+        self.flows = dict(flows)
+        self.agents: Dict[NodeId, SwitchAgent] = {
+            sw: SwitchAgent(sw, config.table(sw), install_latency)
+            for sw in topology.switches
+        }
+        self.probe_period = probe_period
+        self.probe_ttl = probe_ttl
+        self.probe_deadline = probe_deadline
+        self.tick_now = 0
+        self.stats = ProbeStats()
+        self._probes: List[_Probe] = []
+        self._next_seq: Dict[str, int] = {tc.name: 0 for tc in flows}
+        self.probing_enabled = True
+
+    # ------------------------------------------------------------------
+    def current_config(self) -> Configuration:
+        return Configuration({sw: agent.table for sw, agent in self.agents.items()})
+
+    def in_flight(self) -> int:
+        return len(self._probes)
+
+    def control_quiescent(self) -> bool:
+        return all(agent.barrier_done() for agent in self.agents.values())
+
+    # ------------------------------------------------------------------
+    def _inject_probes(self) -> None:
+        if not self.probing_enabled or self.tick_now % self.probe_period != 0:
+            return
+        for tc, (src, _dst) in self.flows.items():
+            seq = self._next_seq[tc.name]
+            self._next_seq[tc.name] = seq + 1
+            sw, pt = self.topology.attachment(src)
+            packet = packet_for_class(tc)
+            probe = _Probe(tc, seq, packet, sw, pt, self.tick_now)
+            self._probes.append(probe)
+            self.stats.sent[(tc.name, seq)] = self.tick_now
+
+    def _advance_probes(self) -> None:
+        survivors: List[_Probe] = []
+        for probe in self._probes:
+            if self.tick_now - probe.sent_tick > self.probe_deadline:
+                continue  # lost: deadline exceeded
+            if probe.hops > self.probe_ttl:
+                continue  # lost: TTL exceeded (loop)
+            agent = self.agents.get(probe.node)
+            if agent is None:
+                continue
+            outputs = agent.table.process(probe.packet, probe.in_port or 0)
+            if not outputs:
+                continue  # lost: blackhole
+            out_packet, out_port = outputs[0]
+            peer = self.topology.peer(probe.node, out_port)
+            if peer is None:
+                continue  # lost: unwired port
+            peer_node, peer_port = peer
+            if self.topology.is_host(peer_node):
+                _src, dst = self.flows[probe.tc]
+                if peer_node == dst:
+                    self.stats.received[(probe.tc.name, probe.seq)] = self.tick_now
+                continue  # delivered (or misdelivered: lost)
+            probe.packet = out_packet
+            probe.node = peer_node
+            probe.in_port = peer_port
+            probe.hops += 1
+            survivors.append(probe)
+        self._probes = survivors
+
+    def step(self) -> None:
+        """One tick: inject, move packets one hop, progress flow-mods."""
+        self._inject_probes()
+        self._advance_probes()
+        for agent in self.agents.values():
+            agent.tick()
+        self.tick_now += 1
+
+    def run(self, ticks: int) -> None:
+        for _ in range(ticks):
+            self.step()
+
+    def drain(self, max_ticks: int = 10000) -> None:
+        """Run with probing disabled until no probes are in flight."""
+        self.probing_enabled = False
+        waited = 0
+        while self._probes and waited < max_ticks:
+            self.step()
+            waited += 1
+        self.probing_enabled = True
+        if self._probes:
+            raise SimulationError("probes failed to drain")
+
+    def oldest_inflight_sent_tick(self) -> Optional[int]:
+        """Send tick of the oldest probe still in the network."""
+        if not self._probes:
+            return None
+        return min(p.sent_tick for p in self._probes)
+
+    # ------------------------------------------------------------------
+    def rule_overhead(
+        self, init: Configuration, final: Configuration
+    ) -> Dict[NodeId, float]:
+        """Per-switch peak rules during the run, relative to steady need.
+
+        The denominator is ``max(|init rules|, |final rules|)`` per switch —
+        the rules a switch must hold in some steady state.  Figure 2(b): the
+        two-phase strategy peaks near 2x on switches holding both rule
+        versions; ordering updates stay at 1x.
+        """
+        overhead: Dict[NodeId, float] = {}
+        for sw, agent in self.agents.items():
+            steady = max(len(init.table(sw)), len(final.table(sw)))
+            if steady == 0 and agent.max_rules == 0:
+                continue
+            overhead[sw] = agent.max_rules / max(1, steady)
+        return overhead

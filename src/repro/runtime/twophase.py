@@ -1,0 +1,97 @@
+"""Two-phase (consistent) update rule construction (Reitblatt et al. [33]).
+
+The general consistency mechanism the paper compares against: tag packets
+with a configuration version on ingress and match the tag at every internal
+hop, so each packet sees purely the old or purely the new configuration.
+The cost is the transient union of both rule sets on internal switches
+(~2x TCAM) and the extra stamping rules — which is exactly what Figure 2(b)
+measures.
+
+Version encoding here: a ``ver`` header field.  Pre-update rules carry no
+``ver`` constraint (they match unstamped traffic); version-2 rules match
+``ver=2`` at higher priority; the phase-2 flip installs an ingress rule that
+stamps ``ver=2`` and forwards along the new configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.config import Configuration
+from repro.net.fields import TrafficClass, packet_for_class
+from repro.net.rules import Forward, Pattern, Rule, SetField, Table
+from repro.net.topology import NodeId, Topology
+
+#: priority offsets layered over the base configuration's rules
+V2_PRIORITY_BOOST = 100
+STAMP_PRIORITY_BOOST = 200
+
+VERSION_FIELD = "ver"
+VERSION_NEW = "2"
+
+
+def versioned_rules(final: Configuration) -> Dict[NodeId, List[Rule]]:
+    """Version-2 copies of every final-configuration rule.
+
+    Each copy matches ``ver=2`` in addition to the original pattern and runs
+    at boosted priority, so stamped packets use the new configuration while
+    unstamped packets keep matching the old rules.
+    """
+    out: Dict[NodeId, List[Rule]] = {}
+    for switch in final.switches():
+        rules: List[Rule] = []
+        for rule in final.table(switch):
+            fields = dict(rule.pattern.fields)
+            fields[VERSION_FIELD] = VERSION_NEW
+            pattern = Pattern(rule.pattern.in_port, tuple(sorted(fields.items())))
+            rules.append(
+                Rule(rule.priority + V2_PRIORITY_BOOST, pattern, rule.actions)
+            )
+        out[switch] = rules
+    return out
+
+
+def stamping_rules(
+    topology: Topology,
+    final: Configuration,
+    flows: Mapping[TrafficClass, Tuple[NodeId, NodeId]],
+) -> Dict[NodeId, List[Rule]]:
+    """Ingress rules that stamp ``ver=2`` and forward per the final config.
+
+    One rule per flow, installed on the switch its source host attaches to;
+    installing these is the atomic "flip" of phase two.
+    """
+    out: Dict[NodeId, List[Rule]] = {}
+    for tc, (src, _dst) in flows.items():
+        ingress, in_port = topology.attachment(src)
+        probe = packet_for_class(tc)
+        outputs = final.table(ingress).process(probe, in_port)
+        if not outputs:
+            raise ConfigurationError(
+                f"final configuration has no rule for {tc.name} at its "
+                f"ingress switch {ingress!r}"
+            )
+        _packet, out_port = outputs[0]
+        pattern = Pattern(None, tc.fields)
+        rule = Rule(
+            STAMP_PRIORITY_BOOST + max((r.priority for r in final.table(ingress)), default=0),
+            pattern,
+            (SetField(VERSION_FIELD, VERSION_NEW), Forward(out_port)),
+        )
+        out.setdefault(ingress, []).append(rule)
+    return out
+
+
+def steady_state(
+    topology: Topology,
+    final: Configuration,
+    flows: Mapping[TrafficClass, Tuple[NodeId, NodeId]],
+) -> Configuration:
+    """The configuration once two-phase completes: v2 rules + stamps."""
+    tables: Dict[NodeId, Table] = {}
+    v2 = versioned_rules(final)
+    stamps = stamping_rules(topology, final, flows)
+    for switch in set(v2) | set(stamps):
+        tables[switch] = Table(tuple(v2.get(switch, ())) + tuple(stamps.get(switch, ())))
+    return Configuration(tables)

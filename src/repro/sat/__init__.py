@@ -1,0 +1,11 @@
+"""A small incremental CDCL SAT solver.
+
+Used by the early-search-termination optimization (§4.2.B): ordering
+constraints learned from counterexamples are added as clauses, and synthesis
+aborts as soon as the accumulated constraints become unsatisfiable.
+"""
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import SatSolver
+
+__all__ = ["CNF", "SatSolver"]

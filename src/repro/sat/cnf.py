@@ -1,0 +1,57 @@
+"""CNF formula container with named variables.
+
+Literals follow the DIMACS convention: a variable is a positive integer, a
+literal is ``+v`` or ``-v``.  :class:`CNF` additionally interns arbitrary
+hashable *names* as variables so client code (e.g. the ordering-constraint
+encoder) never juggles raw integers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+
+class CNF:
+    """A growable CNF formula with a name-to-variable interner."""
+
+    def __init__(self) -> None:
+        self.clauses: List[Tuple[int, ...]] = []
+        self._names: Dict[Hashable, int] = {}
+        self._by_id: List[Hashable] = []
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._by_id)
+
+    def var(self, name: Hashable) -> int:
+        """The variable for ``name``, interning it on first use."""
+        var = self._names.get(name)
+        if var is None:
+            var = len(self._by_id) + 1
+            self._names[name] = var
+            self._by_id.append(name)
+        return var
+
+    def name_of(self, var: int) -> Hashable:
+        return self._by_id[var - 1]
+
+    def lit(self, name: Hashable, positive: bool = True) -> int:
+        var = self.var(name)
+        return var if positive else -var
+
+    def add_clause(self, literals: Iterable[int]) -> Tuple[int, ...]:
+        clause = tuple(literals)
+        if not clause:
+            raise ValueError("empty clause added directly; use solver result")
+        self.clauses.append(clause)
+        return clause
+
+    def add_named_clause(self, *parts: Tuple[Hashable, bool]) -> Tuple[int, ...]:
+        """Add a clause given ``(name, polarity)`` pairs."""
+        return self.add_clause(self.lit(name, pos) for name, pos in parts)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __str__(self) -> str:
+        return f"CNF({self.num_vars} vars, {len(self.clauses)} clauses)"

@@ -1,0 +1,377 @@
+"""An incremental CDCL SAT solver.
+
+Implements the standard modern-solver loop: unit propagation with two
+watched literals, first-UIP conflict analysis with clause learning and
+non-chronological backjumping, VSIDS-style activity-based decisions with
+phase saving, and geometric restarts.  The solver is *incremental*: clauses
+may be added between :meth:`solve` calls, and :meth:`solve` accepts
+assumption literals (the MiniSat interface), returning an assumption core on
+UNSAT-under-assumptions.
+
+This is deliberately a few hundred lines rather than a competitive solver:
+the synthesis early-termination instances (precedence constraints over the
+switches mentioned in counterexamples) are small, but they arrive
+incrementally, which is exactly the workload this interface serves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class SatSolver:
+    """CDCL solver over integer literals (+v / -v, variables from 1)."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: List[List[int]] = []       # problem + learned clauses
+        self._learned_from = 0                      # index where learned begin
+        self._watches: Dict[int, List[int]] = {}    # literal -> clause indices
+        self._assign: List[int] = [0]               # var -> 0 unknown, +1, -1
+        self._level: List[int] = [0]                # var -> decision level
+        self._reason: List[int] = [-1]              # var -> clause index or -1
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._queue_head = 0
+        self._activity: List[float] = [0.0]
+        self._phase: List[int] = [0]
+        self._act_inc = 1.0
+        self._act_decay = 0.95
+        # lazy max-activity heap of candidate decision variables
+        self._order_heap: List[Tuple[float, int, int]] = []
+        self._heap_counter = count()
+        self._ok = True  # False once an empty clause is derived at level 0
+        # statistics
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.last_core: Tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------
+    # clause / variable management
+    # ------------------------------------------------------------------
+    def _ensure_var(self, var: int) -> None:
+        while self._num_vars < var:
+            self._num_vars += 1
+            self._assign.append(0)
+            self._level.append(0)
+            self._reason.append(-1)
+            self._activity.append(0.0)
+            self._phase.append(-1)
+            self._heap_push(self._num_vars)
+
+    def _heap_push(self, var: int) -> None:
+        heapq.heappush(
+            self._order_heap,
+            (-self._activity[var], next(self._heap_counter), var),
+        )
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula is now trivially UNSAT."""
+        self._backtrack(0)
+        clause: List[int] = []
+        seen: Set[int] = set()
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            self._ensure_var(abs(lit))
+            clause.append(lit)
+        # remove literals already false at level 0; satisfied -> drop clause
+        filtered: List[int] = []
+        for lit in clause:
+            value = self._value(lit)
+            if value == 1:
+                return True
+            if value == 0:
+                filtered.append(lit)
+        if not filtered:
+            self._ok = False
+            return False
+        if len(filtered) == 1:
+            if not self._enqueue(filtered[0], -1):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict != -1:
+                self._ok = False
+                return False
+            return True
+        index = len(self._clauses)
+        self._clauses.append(filtered)
+        self._watch(filtered[0], index)
+        self._watch(filtered[1], index)
+        return True
+
+    def _watch(self, lit: int, clause_index: int) -> None:
+        self._watches.setdefault(-lit, []).append(clause_index)
+
+    # ------------------------------------------------------------------
+    # assignment helpers
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> int:
+        value = self._assign[abs(lit)]
+        if value == 0:
+            return 0
+        return value if lit > 0 else -value
+
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        value = self._value(lit)
+        if value == 1:
+            return True
+        if value == -1:
+            return False
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns the conflicting clause index or -1."""
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.propagations += 1
+            watchers = self._watches.get(lit)
+            if not watchers:
+                continue
+            kept: List[int] = []
+            i = 0
+            while i < len(watchers):
+                clause_index = watchers[i]
+                i += 1
+                clause = self._clauses[clause_index]
+                # ensure the falsified literal is at position 1
+                false_lit = -lit
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    kept.append(clause_index)
+                    continue
+                # search a new watch
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], clause_index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause_index)
+                if not self._enqueue(first, clause_index):
+                    kept.extend(watchers[i:])
+                    self._watches[lit] = kept
+                    return clause_index
+            self._watches[lit] = kept
+        return -1
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit)
+            self._phase[var] = self._assign[var]
+            self._assign[var] = 0
+            self._reason[var] = -1
+            self._heap_push(var)
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._act_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._act_inc *= 1e-100
+            # stale heap entries keep old keys; rebuild with rescaled ones
+            self._order_heap = [
+                (-self._activity[v], i, v)
+                for i, (_, __, v) in enumerate(self._order_heap)
+            ]
+            heapq.heapify(self._order_heap)
+        self._heap_push(var)
+
+    def _analyze(self, conflict: int) -> Tuple[List[int], int]:
+        """Returns (learned clause, backjump level)."""
+        learned: List[int] = [0]  # position 0 reserved for the UIP literal
+        seen: Set[int] = set()
+        counter = 0
+        lit = 0
+        clause_index = conflict
+        trail_index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+        while True:
+            clause = self._clauses[clause_index]
+            start = 1 if lit != 0 else 0
+            for q in clause[start:]:
+                var = abs(q)
+                if var in seen or self._level[var] == 0:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(q)
+            # pick next literal from the trail
+            while abs(self._trail[trail_index]) not in seen:
+                trail_index -= 1
+            lit = self._trail[trail_index]
+            var = abs(lit)
+            seen.discard(var)
+            trail_index -= 1
+            counter -= 1
+            if counter == 0:
+                learned[0] = -lit
+                break
+            clause_index = self._reason[var]
+        if len(learned) == 1:
+            return learned, 0
+        # backjump to the second-highest level in the clause
+        levels = sorted((self._level[abs(q)] for q in learned[1:]), reverse=True)
+        back = levels[0]
+        # move a literal of level `back` to position 1 for watching
+        for k in range(1, len(learned)):
+            if self._level[abs(learned[k])] == back:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, back
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Solve under ``assumptions``; model readable via :meth:`model`.
+
+        On UNSAT caused by assumptions, :attr:`last_core` holds a subset of
+        the assumptions that cannot hold together.
+        """
+        self.last_core = ()
+        if not self._ok:
+            return False
+        for lit in assumptions:
+            self._ensure_var(abs(lit))
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict != -1:
+            self._ok = False
+            return False
+        conflict_budget = 100
+        while True:
+            result = self._search(assumptions, conflict_budget)
+            if result is not None:
+                return result
+            conflict_budget = int(conflict_budget * 1.5)
+            self._backtrack(0)
+
+    def _search(self, assumptions: Sequence[int], budget: int) -> Optional[bool]:
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict != -1:
+                self.conflicts += 1
+                conflicts_here += 1
+                if len(self._trail_lim) == 0:
+                    # conflict with no decisions pending: UNSAT outright
+                    self._ok = False
+                    self.last_core = ()
+                    return False
+                learned, back = self._analyze(conflict)
+                self._backtrack(back)
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], -1):
+                        return False
+                else:
+                    index = len(self._clauses)
+                    self._clauses.append(learned)
+                    self._watch(learned[0], index)
+                    self._watch(learned[1], index)
+                    self._enqueue(learned[0], index)
+                self._act_inc /= self._act_decay
+                if conflicts_here >= budget:
+                    return None  # restart
+                continue
+            # all assumptions decided?
+            level = len(self._trail_lim)
+            if level < len(assumptions):
+                lit = assumptions[level]
+                value = self._value(lit)
+                if value == -1:
+                    self.last_core = self._analyze_final(lit, assumptions)
+                    return False
+                self._trail_lim.append(len(self._trail))
+                if value == 0:
+                    self._enqueue(lit, -1)
+                continue
+            decision = self._pick_branch()
+            if decision == 0:
+                return True
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, -1)
+
+    def _analyze_final(self, failed: int, assumptions: Sequence[int]) -> Tuple[int, ...]:
+        """Assumption core: trace reasons from the failed assumption."""
+        assumption_set = set(assumptions)
+        core: Set[int] = {failed}
+        seen: Set[int] = {abs(failed)}
+        queue = [abs(failed)]
+        # the negation of `failed` is implied; walk its implication graph
+        var0 = abs(failed)
+        if self._assign[var0] != 0 and self._reason[var0] == -1:
+            # decided directly as (negation of) an assumption
+            pass
+        while queue:
+            var = queue.pop()
+            reason = self._reason[var]
+            if reason == -1:
+                for lit in (var, -var):
+                    if lit in assumption_set and self._value(lit) == 1:
+                        core.add(lit)
+                continue
+            for lit in self._clauses[reason]:
+                v = abs(lit)
+                if v not in seen and self._level[v] > 0:
+                    seen.add(v)
+                    queue.append(v)
+        return tuple(core)
+
+    def _pick_branch(self) -> int:
+        # lazy deletion: entries may refer to assigned vars or carry stale
+        # (lower) activity keys; bumps always push a fresh entry, so fresh
+        # high-activity entries sort before stale ones and correctness only
+        # needs "some unassigned var", which any popped entry provides
+        while self._order_heap:
+            _, _, var = heapq.heappop(self._order_heap)
+            if self._assign[var] == 0:
+                phase = self._phase[var]
+                return var if phase > 0 else -var
+        return 0
+
+    # ------------------------------------------------------------------
+    def model(self) -> Dict[int, bool]:
+        """The satisfying assignment found by the last ``solve() == True``."""
+        return {
+            var: self._assign[var] > 0
+            for var in range(1, self._num_vars + 1)
+            if self._assign[var] != 0
+        }
+
+    def value(self, var: int) -> Optional[bool]:
+        value = self._assign[var]
+        return None if value == 0 else value > 0

@@ -1,0 +1,24 @@
+"""Update synthesis: the ORDERUPDATE algorithm and its optimizations (§4)."""
+
+from repro.synthesis.plan import SearchStats, UpdatePlan
+from repro.synthesis.pruning import ConfigKey, WrongConfigs, make_formula
+from repro.synthesis.ordering import OrderingConstraints
+from repro.synthesis.search import order_update
+from repro.synthesis.waits import remove_waits
+from repro.synthesis.robust import FailureFinding, RobustnessReport, robustness_report
+from repro.synthesis.synthesizer import UpdateSynthesizer
+
+__all__ = [
+    "UpdatePlan",
+    "SearchStats",
+    "ConfigKey",
+    "WrongConfigs",
+    "make_formula",
+    "OrderingConstraints",
+    "order_update",
+    "remove_waits",
+    "UpdateSynthesizer",
+    "robustness_report",
+    "RobustnessReport",
+    "FailureFinding",
+]

@@ -1,0 +1,112 @@
+"""Early search termination via ordering constraints (§4.2.B).
+
+Every counterexample with updated units ``U`` and not-yet-updated units ``D``
+implies: in any correct simple order, by the moment the last unit of ``U``
+has been applied, some unit of ``D`` must already have been applied — i.e.
+``OR_{d in D, u in U} before(d, u)``.
+
+These disjunctions accumulate in an incremental SAT solver over ``before``
+variables, together with irreflexivity and (lazily instantiated)
+transitivity over the units that actually appear.  When the solver reports
+UNSAT, no simple update order can avoid all known counterexamples and the
+search stops immediately — this is what makes the infeasible instances of
+Figure 8(h) terminate quickly instead of exhausting the DFS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
+
+from repro.sat.solver import SatSolver
+
+Unit = Hashable
+
+
+class OrderingConstraints:
+    """Incremental precedence-constraint store backed by the CDCL solver."""
+
+    #: beyond this many interned units, transitivity triangles are no longer
+    #: instantiated (O(n^3) clauses).  Dropping axioms only weakens the
+    #: UNSAT test (the search stays sound and complete, just without the
+    #: shortcut), so this is a pure performance cap.
+    MAX_TRANSITIVE_UNITS = 60
+
+    def __init__(self) -> None:
+        self._solver = SatSolver()
+        self._vars: Dict[Tuple[Unit, Unit], int] = {}
+        self._units: List[Unit] = []
+        self._unsat = False
+        self.constraints_added = 0
+
+    def _before(self, a: Unit, b: Unit) -> int:
+        """The variable for ``a`` updated strictly before ``b``."""
+        key = (a, b)
+        var = self._vars.get(key)
+        if var is None:
+            var = len(self._vars) + 1
+            self._vars[key] = var
+        return var
+
+    def _register(self, unit: Unit) -> None:
+        """Intern ``unit`` and lazily instantiate order axioms with peers."""
+        if unit in self._units:
+            return
+        peers = list(self._units)
+        self._units.append(unit)
+        # irreflexivity
+        self._solver.add_clause([-self._before(unit, unit)])
+        for peer in peers:
+            ab = self._before(unit, peer)
+            ba = self._before(peer, unit)
+            # antisymmetry
+            self._solver.add_clause([-ab, -ba])
+            if len(self._units) > self.MAX_TRANSITIVE_UNITS:
+                continue
+            # transitivity triangles with every existing pair
+            for third in peers:
+                if third == peer:
+                    continue
+                bc = self._before(peer, third)
+                cb = self._before(third, peer)
+                ac = self._before(unit, third)
+                ca = self._before(third, unit)
+                # unit < peer < third -> unit < third, and all rotations
+                self._solver.add_clause([-ab, -bc, ac])
+                self._solver.add_clause([-cb, -ba, ca])
+                self._solver.add_clause([-ac, -cb, ab])
+                self._solver.add_clause([-ca, -ab, cb])
+                self._solver.add_clause([-ba, -ac, bc])
+                self._solver.add_clause([-bc, -ca, ba])
+
+    def add_counterexample(self, updated: Iterable[Unit], not_updated: Iterable[Unit]) -> None:
+        """Record ``OR_{d,u} before(d, u)`` for a violating configuration."""
+        updated = list(dict.fromkeys(updated))
+        not_updated = list(dict.fromkeys(not_updated))
+        self.constraints_added += 1
+        if not updated or not not_updated:
+            # the violating configuration is unavoidable (it is the initial
+            # or final configuration restricted to the mentioned units)
+            self._unsat = True
+            return
+        for unit in updated:
+            self._register(unit)
+        for unit in not_updated:
+            self._register(unit)
+        clause = [
+            self._before(d, u) for d in not_updated for u in updated
+        ]
+        if not self._solver.add_clause(clause):
+            self._unsat = True
+
+    def feasible(self) -> bool:
+        """Can some update order still satisfy all recorded constraints?"""
+        if self._unsat:
+            return False
+        if not self._solver.solve():
+            self._unsat = True
+            return False
+        return True
+
+    @property
+    def num_units(self) -> int:
+        return len(self._units)

@@ -1,0 +1,71 @@
+"""Update plans: the output of synthesis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.net.commands import Command, Wait, count_waits, is_update, updates_of
+
+
+@dataclass
+class SearchStats:
+    """Work counters for one synthesis run (used by the benchmarks)."""
+
+    model_checks: int = 0
+    counterexamples: int = 0
+    pruned_visited: int = 0
+    pruned_wrong: int = 0
+    loops_rejected: int = 0
+    backtracks: int = 0
+    sat_terminated: bool = False
+    waits_before_removal: int = 0
+    waits_after_removal: int = 0
+    wait_removal_seconds: float = 0.0
+    synthesis_seconds: float = 0.0
+
+    def merge(self, other: "SearchStats") -> None:
+        self.model_checks += other.model_checks
+        self.counterexamples += other.counterexamples
+        self.pruned_visited += other.pruned_visited
+        self.pruned_wrong += other.pruned_wrong
+        self.loops_rejected += other.loops_rejected
+        self.backtracks += other.backtracks
+
+
+@dataclass
+class UpdatePlan:
+    """A synthesized command sequence plus bookkeeping.
+
+    ``commands`` is the executable sequence (updates interleaved with
+    ``Wait``); ``granularity`` records whether it was synthesized at switch
+    or rule granularity.
+    """
+
+    commands: List[Command]
+    granularity: str = "switch"
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def updates(self) -> List[Command]:
+        return updates_of(self.commands)
+
+    def num_updates(self) -> int:
+        return len(self.updates())
+
+    def num_waits(self) -> int:
+        return count_waits(self.commands)
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __iter__(self):
+        return iter(self.commands)
+
+    def __str__(self) -> str:
+        return " ; ".join(str(c) for c in self.commands)
+
+    def summary(self) -> str:
+        return (
+            f"UpdatePlan({self.num_updates()} updates, {self.num_waits()} waits, "
+            f"granularity={self.granularity})"
+        )

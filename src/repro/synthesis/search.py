@@ -1,0 +1,261 @@
+"""The ORDERUPDATE synthesis algorithm (§4, Figure 4).
+
+Depth-first search over simple update sequences (each unit updated at most
+once), model checking every intermediate configuration with a pluggable
+backend, and pruning with:
+
+* ``V`` — configurations already visited (memoized subsets);
+* ``W`` — wrong-configuration patterns learned from counterexamples
+  (:mod:`repro.synthesis.pruning`);
+* early termination — ordering constraints fed to an incremental SAT solver
+  (:mod:`repro.synthesis.ordering`);
+* a reachability heuristic that tries currently-unreachable switches first
+  (they can never break a trace-based property).
+
+Backtracking re-applies the previous table, which is just another
+incremental update, so the checker's labeling stays warm in both directions.
+The algorithm is sound (Theorem 1) and complete for simple careful sequences
+(Theorem 2); both are exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import ForwardingLoopError, SynthesisTimeout, UpdateInfeasibleError
+from repro.kripke.structure import KripkeStructure, rule_covers_class
+from repro.ltl.syntax import Formula
+from repro.mc.interface import make_checker
+from repro.net.commands import Command, RuleGranUpdate, SwitchUpdate, Wait
+from repro.net.config import Configuration
+from repro.net.fields import TrafficClass
+from repro.net.rules import Table
+from repro.net.topology import NodeId, Topology
+from repro.synthesis.ordering import OrderingConstraints
+from repro.synthesis.plan import SearchStats, UpdatePlan
+from repro.synthesis.pruning import WrongConfigs, make_formula
+
+Unit = Hashable
+
+
+def _class_table(table: Table, tc: TrafficClass) -> Table:
+    return table.restrict(lambda r: rule_covers_class(r, tc))
+
+
+def _compute_units(
+    init: Configuration,
+    final: Configuration,
+    classes: Sequence[TrafficClass],
+    granularity: str,
+) -> List[Unit]:
+    diff = sorted(init.diff_switches(final))
+    if granularity == "switch":
+        return list(diff)
+    if granularity != "rule":
+        raise ValueError(f"unknown granularity {granularity!r}")
+    units: List[Unit] = []
+    for switch in diff:
+        for tc in classes:
+            if _class_table(init.table(switch), tc) != _class_table(
+                final.table(switch), tc
+            ):
+                units.append((switch, tc.name))
+    return units
+
+
+def order_update(
+    topology: Topology,
+    init: Configuration,
+    final: Configuration,
+    ingresses: Mapping[TrafficClass, Sequence[NodeId]],
+    spec: Formula,
+    *,
+    checker: str = "incremental",
+    granularity: str = "switch",
+    use_counterexamples: bool = True,
+    use_early_termination: bool = True,
+    use_reachability_heuristic: bool = True,
+    timeout: Optional[float] = None,
+) -> UpdatePlan:
+    """Synthesize a careful update sequence from ``init`` to ``final``.
+
+    Returns an :class:`UpdatePlan` whose commands transform ``init`` into
+    ``final`` such that every intermediate configuration satisfies ``spec``.
+    Raises :class:`UpdateInfeasibleError` if no simple careful sequence
+    exists, :class:`SynthesisTimeout` on budget exhaustion.
+    """
+    start = time.monotonic()
+    stats = SearchStats()
+    classes = list(ingresses)
+    class_by_name: Dict[str, TrafficClass] = {tc.name: tc for tc in classes}
+
+    def check_deadline() -> None:
+        if timeout is not None and time.monotonic() - start > timeout:
+            raise SynthesisTimeout(f"synthesis exceeded {timeout}s budget")
+
+    units = _compute_units(init, final, classes, granularity)
+    all_units: FrozenSet[Unit] = frozenset(units)
+
+    # the final configuration must itself satisfy the spec
+    try:
+        final_structure = KripkeStructure(topology, final, ingresses)
+    except ForwardingLoopError as exc:
+        raise UpdateInfeasibleError(
+            f"final configuration has a forwarding loop: {exc}"
+        ) from exc
+    final_checker = make_checker("incremental", final_structure, spec)
+    stats.model_checks += 1
+    if not final_checker.full_check().ok:
+        raise UpdateInfeasibleError("final configuration violates the specification")
+
+    try:
+        structure = KripkeStructure(topology, init, ingresses)
+    except ForwardingLoopError as exc:
+        raise UpdateInfeasibleError(
+            f"initial configuration has a forwarding loop: {exc}"
+        ) from exc
+    # `checker` is a backend name, or a factory (structure, spec) -> checker
+    # (used by the benchmarks to instrument two backends on one query stream)
+    if isinstance(checker, str):
+        backend = make_checker(checker, structure, spec)
+    else:
+        backend = checker(structure, spec)
+    stats.model_checks += 1
+    if not backend.full_check().ok:
+        raise UpdateInfeasibleError("initial configuration violates the specification")
+
+    if not units:
+        stats.synthesis_seconds = time.monotonic() - start
+        return UpdatePlan([], granularity, stats)
+
+    wrong = WrongConfigs()
+    ordering = OrderingConstraints()
+    visited: Set[FrozenSet[Unit]] = set()
+    updated: Set[Unit] = set()
+    path: List[Unit] = []
+    rule_gran = granularity == "rule"
+
+    # ------------------------------------------------------------------
+    def apply_unit(unit: Unit, target: Configuration) -> List:
+        """Move ``unit`` to its table in ``target``; return dirty states."""
+        if rule_gran:
+            switch, tc_name = unit
+            tc = class_by_name[tc_name]
+            return structure.update_class_rules(switch, tc, target.table(switch))
+        return structure.update_switch(unit, target.table(unit))
+
+    def handle_violation(cex, key: FrozenSet[Unit]) -> None:
+        if cex is None or not use_counterexamples:
+            return
+        stats.counterexamples += 1
+        pattern = make_formula(cex, key, all_units, rule_gran)
+        wrong.add(pattern)
+        if use_early_termination:
+            ordering.add_counterexample(
+                [u for u, flag in pattern if flag],
+                [u for u, flag in pattern if not flag],
+            )
+            # feasibility is re-solved incrementally, but on large feasible
+            # instances the checks are pure overhead: back off once many
+            # constraints have accumulated without a contradiction
+            added = ordering.constraints_added
+            if added > 64 and added % 16 != 0:
+                return
+            if not ordering.feasible():
+                stats.sat_terminated = True
+                raise UpdateInfeasibleError(
+                    "ordering constraints are unsatisfiable: no simple "
+                    "update sequence exists",
+                    reason="sat",
+                )
+
+    def candidates() -> List[Unit]:
+        remaining = [u for u in units if u not in updated]
+        if not use_reachability_heuristic:
+            return remaining
+        reachable: Dict[str, FrozenSet[NodeId]] = {
+            tc.name: structure.reachable_switches(tc) for tc in classes
+        }
+
+        def sort_key(unit: Unit) -> Tuple[int, str]:
+            if rule_gran:
+                switch, tc_name = unit
+                hot = switch in reachable[tc_name]
+            else:
+                hot = any(unit in r for r in reachable.values())
+            return (1 if hot else 0, str(unit))
+
+        return sorted(remaining, key=sort_key)
+
+    # ------------------------------------------------------------------
+    stack: List[List[Unit]] = [candidates()]
+    while stack:
+        check_deadline()
+        frame = stack[-1]
+        if not frame:
+            stack.pop()
+            if path:
+                unit = path.pop()
+                updated.discard(unit)
+                dirty = apply_unit(unit, init)
+                backend.apply_update(dirty)
+                stats.backtracks += 1
+            continue
+        unit = frame.pop(0)
+        key = frozenset(updated | {unit})
+        if key in visited:
+            stats.pruned_visited += 1
+            continue
+        if wrong.matches(key):
+            stats.pruned_wrong += 1
+            continue
+        try:
+            dirty = apply_unit(unit, final)
+        except ForwardingLoopError as exc:
+            stats.loops_rejected += 1
+            visited.add(key)
+            handle_violation(exc.cycle, key)
+            revert_dirty = apply_unit(unit, init)
+            backend.apply_update(revert_dirty)
+            continue
+        result = backend.apply_update(dirty)
+        stats.model_checks += 1
+        visited.add(key)
+        if not result.ok:
+            handle_violation(result.counterexample, key)
+            revert_dirty = apply_unit(unit, init)
+            backend.apply_update(revert_dirty)
+            continue
+        updated.add(unit)
+        path.append(unit)
+        if len(updated) == len(all_units):
+            stats.synthesis_seconds = time.monotonic() - start
+            return UpdatePlan(_build_commands(path, final, class_by_name, rule_gran), granularity, stats)
+        stack.append(candidates())
+
+    stats.synthesis_seconds = time.monotonic() - start
+    raise UpdateInfeasibleError(
+        "exhausted the space of simple careful update sequences", reason="search"
+    )
+
+
+def _build_commands(
+    order: Sequence[Unit],
+    final: Configuration,
+    class_by_name: Mapping[str, TrafficClass],
+    rule_gran: bool,
+) -> List[Command]:
+    """A careful command sequence realizing ``order`` (wait between updates)."""
+    commands: List[Command] = []
+    for i, unit in enumerate(order):
+        if i > 0:
+            commands.append(Wait())
+        if rule_gran:
+            switch, tc_name = unit
+            commands.append(
+                RuleGranUpdate(switch, class_by_name[tc_name], final.table(switch))
+            )
+        else:
+            commands.append(SwitchUpdate(unit, final.table(unit)))
+    return commands

@@ -1,0 +1,74 @@
+"""k-ary fat-tree topologies (Al-Fares et al., SIGCOMM'08) and the paper's
+Figure 1 mini-datacenter."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.net.topology import Topology
+
+
+def fat_tree(k: int, with_hosts: bool = False) -> Topology:
+    """The standard 3-tier k-ary fat-tree (``k`` even).
+
+    * ``(k/2)^2`` core switches ``Cx``
+    * ``k`` pods, each with ``k/2`` aggregation ``Ap_i`` and ``k/2`` edge
+      switches ``Ep_i``
+    * optionally ``k/2`` hosts per edge switch.
+
+    Total switches: ``5k^2/4``.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError("fat-tree arity k must be even and >= 2")
+    half = k // 2
+    topo = Topology()
+    cores: List[str] = []
+    for i in range(half * half):
+        name = f"C{i}"
+        topo.add_switch(name)
+        cores.append(name)
+    for pod in range(k):
+        aggs = []
+        edges = []
+        for i in range(half):
+            agg = f"A{pod}_{i}"
+            topo.add_switch(agg)
+            aggs.append(agg)
+        for i in range(half):
+            edge = f"E{pod}_{i}"
+            topo.add_switch(edge)
+            edges.append(edge)
+        for agg in aggs:
+            for edge in edges:
+                topo.add_link(agg, edge)
+        # agg i connects to cores [i*half, (i+1)*half)
+        for i, agg in enumerate(aggs):
+            for j in range(half):
+                topo.add_link(agg, cores[i * half + j])
+        if with_hosts:
+            for i, edge in enumerate(edges):
+                for h in range(half):
+                    host = f"H{pod}_{i}_{h}"
+                    topo.add_host(host)
+                    topo.add_link(edge, host)
+    return topo
+
+
+def mini_datacenter() -> Topology:
+    """The paper's Figure 1: 2 cores, 4 aggregation, 4 ToR, 4 hosts."""
+    topo = Topology()
+    topo.add_switches(["C1", "C2", "A1", "A2", "A3", "A4", "T1", "T2", "T3", "T4"])
+    topo.add_hosts(["H1", "H2", "H3", "H4"])
+    for agg, tor in [
+        ("A1", "T1"), ("A1", "T2"), ("A2", "T1"), ("A2", "T2"),
+        ("A3", "T3"), ("A3", "T4"), ("A4", "T3"), ("A4", "T4"),
+    ]:
+        topo.add_link(agg, tor)
+    for core, agg in [
+        ("C1", "A1"), ("C1", "A2"), ("C1", "A3"), ("C1", "A4"),
+        ("C2", "A1"), ("C2", "A2"), ("C2", "A3"), ("C2", "A4"),
+    ]:
+        topo.add_link(core, agg)
+    for tor, host in [("T1", "H1"), ("T2", "H2"), ("T3", "H3"), ("T4", "H4")]:
+        topo.add_link(tor, host)
+    return topo

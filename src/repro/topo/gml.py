@@ -1,0 +1,141 @@
+"""A minimal GML parser for Topology Zoo files.
+
+The Topology Zoo dataset distributes wide-area network topologies in GML
+(Graph Modelling Language).  This parser handles the subset those files use:
+nested ``key [ ... ]`` records, ``node [ id ... label "..." ]`` and
+``edge [ source ... target ... ]`` entries, quoted strings, and numeric or
+bare-word values.  Duplicate edges and self-loops (both present in the zoo)
+are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.net.topology import Topology
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_.\-]*)
+    """,
+    re.VERBOSE,
+)
+
+Value = Union[str, float, int, "GmlRecord"]
+
+
+class GmlRecord:
+    """A GML record: an ordered multimap of key -> value."""
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[str, Value]] = []
+
+    def add(self, key: str, value: Value) -> None:
+        self.entries.append((key, value))
+
+    def first(self, key: str) -> Optional[Value]:
+        for k, v in self.entries:
+            if k == key:
+                return v
+        return None
+
+    def all(self, key: str) -> List[Value]:
+        return [v for k, v in self.entries if k == key]
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"bad GML at offset {pos}: {text[pos:pos+20]!r}")
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append((kind, match.group()))
+        pos = match.end()
+    return tokens
+
+
+def _parse_record(tokens: List[Tuple[str, str]], at: int) -> Tuple[GmlRecord, int]:
+    record = GmlRecord()
+    while at < len(tokens):
+        kind, text = tokens[at]
+        if kind == "rbracket":
+            return record, at + 1
+        if kind != "word":
+            raise ParseError(f"expected GML key, found {text!r}")
+        key = text
+        at += 1
+        if at >= len(tokens):
+            raise ParseError(f"GML key {key!r} has no value")
+        vkind, vtext = tokens[at]
+        at += 1
+        if vkind == "lbracket":
+            sub, at = _parse_record(tokens, at)
+            record.add(key, sub)
+        elif vkind == "string":
+            record.add(key, vtext[1:-1].replace('\\"', '"'))
+        elif vkind == "number":
+            number = float(vtext)
+            record.add(key, int(number) if number.is_integer() else number)
+        elif vkind == "word":
+            record.add(key, vtext)
+        else:
+            raise ParseError(f"bad GML value {vtext!r} for key {key!r}")
+    return record, at
+
+
+def parse_gml_record(text: str) -> GmlRecord:
+    tokens = _tokenize(text)
+    record, at = _parse_record(tokens, 0)
+    if at != len(tokens):
+        raise ParseError("trailing GML content")
+    return record
+
+
+def parse_gml(text: str, name_prefix: str = "") -> Topology:
+    """Parse a Topology Zoo GML document into a switch-only topology."""
+    root = parse_gml_record(text)
+    graph = root.first("graph")
+    if not isinstance(graph, GmlRecord):
+        raise ParseError("GML document has no graph record")
+    topo = Topology()
+    names: Dict[int, str] = {}
+    used: Dict[str, int] = {}
+    for node in graph.all("node"):
+        if not isinstance(node, GmlRecord):
+            continue
+        node_id = node.first("id")
+        if not isinstance(node_id, int):
+            raise ParseError("GML node without integer id")
+        label = node.first("label")
+        base = label if isinstance(label, str) and label else f"n{node_id}"
+        base = name_prefix + base.replace(" ", "_")
+        count = used.get(base, 0)
+        used[base] = count + 1
+        name = base if count == 0 else f"{base}_{count}"
+        names[node_id] = name
+        topo.add_switch(name)
+    for edge in graph.all("edge"):
+        if not isinstance(edge, GmlRecord):
+            continue
+        source = edge.first("source")
+        target = edge.first("target")
+        if not isinstance(source, int) or not isinstance(target, int):
+            raise ParseError("GML edge without integer endpoints")
+        if source == target:
+            continue
+        if source not in names or target not in names:
+            raise ParseError(f"GML edge references unknown node {source}/{target}")
+        a, b = names[source], names[target]
+        if not topo.are_adjacent(a, b):
+            topo.add_link(a, b)
+    return topo

@@ -1,0 +1,61 @@
+"""Small-world topologies (Watts-Strogatz; Newman-Strogatz-Watts, §6)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set, Tuple
+
+from repro.net.topology import Topology
+
+
+def small_world(
+    n: int,
+    k: int = 4,
+    rewire_probability: float = 0.1,
+    seed: int = 0,
+    prefix: str = "S",
+) -> Topology:
+    """A Watts-Strogatz small-world graph of ``n`` switches.
+
+    Start from a ring lattice where every node connects to its ``k`` nearest
+    neighbours (``k`` even), then rewire each lattice edge with probability
+    ``rewire_probability`` to a uniformly random target (avoiding self-loops
+    and duplicates).  The underlying ring edges (distance-1) are never
+    rewired, keeping the graph connected and guaranteeing two vertex-disjoint
+    arcs between any two nodes — which the diamond workloads rely on.
+    """
+    if n < 4:
+        raise ValueError("small-world topologies need at least 4 nodes")
+    if k < 2 or k % 2 != 0:
+        raise ValueError("lattice degree k must be even and >= 2")
+    rng = random.Random(seed)
+    names = [f"{prefix}{i}" for i in range(n)]
+    edges: Set[Tuple[int, int]] = set()
+
+    def normalize(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    # ring lattice
+    for i in range(n):
+        for offset in range(1, k // 2 + 1):
+            edges.add(normalize(i, (i + offset) % n))
+    # rewiring (keep the distance-1 ring intact)
+    for edge in sorted(edges):
+        a, b = edge
+        distance = min((b - a) % n, (a - b) % n)
+        if distance == 1:
+            continue
+        if rng.random() < rewire_probability:
+            for _ in range(16):
+                target = rng.randrange(n)
+                candidate = normalize(a, target)
+                if target != a and candidate not in edges:
+                    edges.discard(edge)
+                    edges.add(candidate)
+                    break
+    topo = Topology()
+    for name in names:
+        topo.add_switch(name)
+    for a, b in sorted(edges):
+        topo.add_link(names[a], names[b])
+    return topo

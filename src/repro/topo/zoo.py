@@ -1,0 +1,184 @@
+"""Topology Zoo stand-in: real WAN topologies plus a synthetic collection.
+
+The paper's evaluation uses the Internet Topology Zoo (261 GML files).  That
+dataset is not redistributable here, so this module provides:
+
+* :data:`BUILTIN_ZOO` — hand-encoded real research WANs with published
+  structure (Abilene/Internet2, NSFNET T1, GÉANT-like and others), used as
+  ground-truth anchors;
+* :func:`synthetic_zoo` — a deterministic Waxman-style generator producing
+  WAN-like graphs across the zoo's size distribution (10-150 nodes, mean
+  degree ~2-3), used to scale the Figure 7 experiments to many topologies.
+
+Both return switch-only topologies; experiment scenarios attach hosts where
+needed (see :mod:`repro.topo.diamond`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.topology import Topology
+
+# ----------------------------------------------------------------------
+# real topologies (adjacency lists)
+# ----------------------------------------------------------------------
+_ABILENE = {
+    "name": "Abilene",
+    "nodes": [
+        "SEA", "SNV", "LA", "DEN", "KSC", "HOU", "IND", "ATL", "CHI", "NYC", "WAS",
+    ],
+    "edges": [
+        ("SEA", "SNV"), ("SEA", "DEN"), ("SNV", "DEN"), ("SNV", "LA"),
+        ("LA", "HOU"), ("DEN", "KSC"), ("KSC", "HOU"), ("KSC", "IND"),
+        ("HOU", "ATL"), ("IND", "CHI"), ("IND", "ATL"), ("CHI", "NYC"),
+        ("NYC", "WAS"), ("WAS", "ATL"),
+    ],
+}
+
+_NSFNET = {
+    "name": "Nsfnet",
+    "nodes": [
+        "WA", "CA1", "CA2", "UT", "CO", "TX", "NE", "IL", "PA", "GA",
+        "MI", "NY", "NJ", "DC",
+    ],
+    "edges": [
+        ("WA", "CA1"), ("WA", "CA2"), ("WA", "IL"), ("CA1", "CA2"),
+        ("CA1", "UT"), ("CA2", "TX"), ("UT", "CO"), ("UT", "MI"),
+        ("CO", "NE"), ("CO", "TX"), ("TX", "GA"), ("TX", "DC"),
+        ("NE", "IL"), ("NE", "MI"), ("IL", "PA"), ("PA", "GA"),
+        ("PA", "NY"), ("GA", "NJ"), ("MI", "NY"), ("NY", "NJ"),
+        ("NJ", "DC"),
+    ],
+}
+
+_ARPANET = {
+    "name": "Arpanet19719",
+    "nodes": [
+        "UCLA", "SRI", "UCSB", "UTAH", "BBN", "MIT", "RAND", "SDC", "HARV",
+        "LINC", "STAN", "ILL", "CASE", "CMU", "PAUL", "BURR", "GWC", "NOAA",
+    ],
+    "edges": [
+        ("UCLA", "SRI"), ("UCLA", "UCSB"), ("UCLA", "RAND"), ("SRI", "UCSB"),
+        ("SRI", "UTAH"), ("SRI", "STAN"), ("UTAH", "SDC"), ("UTAH", "ILL"),
+        ("RAND", "SDC"), ("RAND", "BBN"), ("BBN", "MIT"), ("BBN", "HARV"),
+        ("MIT", "LINC"), ("MIT", "GWC"), ("LINC", "CASE"), ("HARV", "BURR"),
+        ("STAN", "NOAA"), ("ILL", "MIT"), ("CASE", "CMU"), ("CMU", "PAUL"),
+        ("PAUL", "BURR"), ("GWC", "NOAA"),
+    ],
+}
+
+_CESNET = {
+    "name": "Cesnet",
+    "nodes": [
+        "Praha", "Brno", "Ostrava", "Plzen", "Liberec", "HradecKralove",
+        "CeskeBudejovice", "UstiNadLabem", "Olomouc", "Zlin", "Pardubice",
+        "Jihlava",
+    ],
+    "edges": [
+        ("Praha", "Brno"), ("Praha", "Plzen"), ("Praha", "Liberec"),
+        ("Praha", "UstiNadLabem"), ("Praha", "HradecKralove"),
+        ("Praha", "CeskeBudejovice"), ("Brno", "Ostrava"), ("Brno", "Olomouc"),
+        ("Brno", "Zlin"), ("Brno", "Jihlava"), ("Ostrava", "Olomouc"),
+        ("HradecKralove", "Pardubice"), ("Pardubice", "Brno"),
+        ("CeskeBudejovice", "Jihlava"), ("Liberec", "HradecKralove"),
+        ("Plzen", "CeskeBudejovice"),
+    ],
+}
+
+_RAW_ZOO = [_ABILENE, _NSFNET, _ARPANET, _CESNET]
+
+
+def _build(raw: Dict) -> Topology:
+    topo = Topology()
+    for node in raw["nodes"]:
+        topo.add_switch(node)
+    for a, b in raw["edges"]:
+        topo.add_link(a, b)
+    return topo
+
+
+def builtin_zoo() -> List[Tuple[str, Topology]]:
+    """The hand-encoded real WAN topologies."""
+    return [(raw["name"], _build(raw)) for raw in _RAW_ZOO]
+
+
+def zoo_topology(name: str) -> Topology:
+    for raw in _RAW_ZOO:
+        if raw["name"].lower() == name.lower():
+            return _build(raw)
+    raise KeyError(f"unknown builtin zoo topology {name!r}")
+
+
+# ----------------------------------------------------------------------
+# synthetic zoo
+# ----------------------------------------------------------------------
+def _waxman(n: int, seed: int, alpha: float = 0.4, beta: float = 0.25) -> Topology:
+    """A Waxman random WAN graph, repaired to be connected."""
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    names = [f"W{i}" for i in range(n)]
+    topo = Topology()
+    for name in names:
+        topo.add_switch(name)
+    scale = math.sqrt(2.0)
+    edges = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = points[i][0] - points[j][0]
+            dy = points[i][1] - points[j][1]
+            distance = math.hypot(dx, dy)
+            if rng.random() < alpha * math.exp(-distance / (beta * scale)):
+                edges.add((i, j))
+    # connectivity repair: union-find, link closest cross-component pairs
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for i, j in edges:
+        parent[find(i)] = find(j)
+    roots = {find(i) for i in range(n)}
+    while len(roots) > 1:
+        groups: Dict[int, List[int]] = {}
+        for i in range(n):
+            groups.setdefault(find(i), []).append(i)
+        ordered = sorted(groups.values(), key=len, reverse=True)
+        main, other = ordered[0], ordered[1]
+        best = None
+        for i in main:
+            for j in other:
+                dx = points[i][0] - points[j][0]
+                dy = points[i][1] - points[j][1]
+                d = math.hypot(dx, dy)
+                if best is None or d < best[0]:
+                    best = (d, min(i, j), max(i, j))
+        assert best is not None
+        _, i, j = best
+        edges.add((i, j))
+        parent[find(i)] = find(j)
+        roots = {find(i) for i in range(n)}
+    for i, j in sorted(edges):
+        topo.add_link(names[i], names[j])
+    return topo
+
+
+#: size distribution resembling the Topology Zoo (most WANs are 10-60 nodes)
+_ZOO_SIZES = (10, 12, 15, 18, 20, 22, 25, 28, 30, 34, 40, 45, 50, 60, 75, 100, 125, 150)
+
+
+def synthetic_zoo(count: int, seed: int = 0) -> List[Tuple[str, Topology]]:
+    """``count`` deterministic WAN-like topologies across zoo-like sizes."""
+    rng = random.Random(seed)
+    out: List[Tuple[str, Topology]] = []
+    for index in range(count):
+        size = _ZOO_SIZES[index % len(_ZOO_SIZES)]
+        jitter = rng.randrange(-2, 3)
+        n = max(8, size + jitter)
+        out.append((f"SynthZoo{index}_{n}", _waxman(n, seed=seed * 1000 + index)))
+    return out

@@ -1,0 +1,189 @@
+"""Tests for the BDD package: reduction invariants and boolean-algebra laws."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.bdd import BDD, FALSE_NODE, TRUE_NODE
+
+NUM_VARS = 5
+
+
+def truth_table(bdd, node):
+    """Evaluate ``node`` on all assignments over the manager's variables."""
+    return tuple(
+        bdd.evaluate(node, bits)
+        for bits in itertools.product([False, True], repeat=bdd.num_vars)
+    )
+
+
+class TestBasics:
+    def test_terminals(self):
+        bdd = BDD(2)
+        assert bdd.is_true(bdd.true)
+        assert bdd.is_false(bdd.false)
+        assert truth_table(bdd, bdd.true) == (True,) * 4
+
+    def test_var_and_negation(self):
+        bdd = BDD(2)
+        x0 = bdd.var(0)
+        assert truth_table(bdd, x0) == (False, False, True, True)
+        assert truth_table(bdd, bdd.nvar(0)) == (True, True, False, False)
+        assert bdd.neg(x0) == bdd.nvar(0)
+
+    def test_out_of_range_var(self):
+        with pytest.raises(ValueError):
+            BDD(1).var(1)
+
+    def test_hash_consing(self):
+        bdd = BDD(3)
+        a = bdd.conj(bdd.var(0), bdd.var(1))
+        b = bdd.conj(bdd.var(0), bdd.var(1))
+        assert a == b  # same node id, not just equivalent
+
+    def test_reduction_no_redundant_nodes(self):
+        bdd = BDD(2)
+        # x0 ? x1 : x1 reduces to x1
+        assert bdd.ite(bdd.var(0), bdd.var(1), bdd.var(1)) == bdd.var(1)
+
+    def test_cube(self):
+        bdd = BDD(3)
+        cube = bdd.cube([(0, True), (2, False)])
+        table = truth_table(bdd, cube)
+        expected = tuple(
+            bits[0] and not bits[2]
+            for bits in itertools.product([False, True], repeat=3)
+        )
+        assert table == expected
+
+    def test_any_model(self):
+        bdd = BDD(3)
+        f = bdd.conj(bdd.var(0), bdd.nvar(2))
+        model = bdd.any_model(f)
+        assert model is not None
+        full = [model.get(i, False) for i in range(3)]
+        assert bdd.evaluate(f, full)
+        assert bdd.any_model(bdd.false) is None
+
+    def test_count_models(self):
+        bdd = BDD(3)
+        assert bdd.count_models(bdd.true) == 8
+        assert bdd.count_models(bdd.false) == 0
+        assert bdd.count_models(bdd.var(1)) == 4
+        assert bdd.count_models(bdd.conj(bdd.var(0), bdd.var(1))) == 2
+
+    def test_support(self):
+        bdd = BDD(4)
+        f = bdd.disj(bdd.var(1), bdd.var(3))
+        assert bdd.support(f) == (1, 3)
+
+    def test_exists(self):
+        bdd = BDD(2)
+        f = bdd.conj(bdd.var(0), bdd.var(1))
+        assert bdd.exists(f, [0]) == bdd.var(1)
+        assert bdd.exists(f, [0, 1]) == bdd.true
+
+    def test_forall(self):
+        bdd = BDD(2)
+        f = bdd.disj(bdd.var(0), bdd.var(1))
+        assert bdd.forall(f, [0]) == bdd.var(1)
+
+    def test_rename(self):
+        bdd = BDD(4)
+        f = bdd.conj(bdd.var(0), bdd.nvar(2))
+        g = bdd.rename(f, {0: 1, 2: 3})
+        assert g == bdd.conj(bdd.var(1), bdd.nvar(3))
+
+
+# ----------------------------------------------------------------------
+# property-based: BDD ops agree with pointwise boolean semantics
+# ----------------------------------------------------------------------
+@st.composite
+def bdd_exprs(draw, depth=3):
+    """An expression tree evaluated both as a BDD and pointwise."""
+    if depth == 0:
+        kind = draw(st.sampled_from(["var", "const"]))
+        if kind == "var":
+            i = draw(st.integers(min_value=0, max_value=NUM_VARS - 1))
+            return ("var", i)
+        return ("const", draw(st.booleans()))
+    kind = draw(st.sampled_from(["not", "and", "or", "xor", "leaf"]))
+    if kind == "leaf":
+        return draw(bdd_exprs(depth=0))
+    if kind == "not":
+        return ("not", draw(bdd_exprs(depth=depth - 1)))
+    return (kind, draw(bdd_exprs(depth=depth - 1)), draw(bdd_exprs(depth=depth - 1)))
+
+
+def build(bdd, expr):
+    tag = expr[0]
+    if tag == "var":
+        return bdd.var(expr[1])
+    if tag == "const":
+        return bdd.true if expr[1] else bdd.false
+    if tag == "not":
+        return bdd.neg(build(bdd, expr[1]))
+    left, right = build(bdd, expr[1]), build(bdd, expr[2])
+    return {"and": bdd.conj, "or": bdd.disj, "xor": bdd.xor}[tag](left, right)
+
+
+def eval_expr(expr, bits):
+    tag = expr[0]
+    if tag == "var":
+        return bits[expr[1]]
+    if tag == "const":
+        return expr[1]
+    if tag == "not":
+        return not eval_expr(expr[1], bits)
+    left, right = eval_expr(expr[1], bits), eval_expr(expr[2], bits)
+    if tag == "and":
+        return left and right
+    if tag == "or":
+        return left or right
+    return left != right  # xor
+
+
+@given(expr=bdd_exprs())
+@settings(max_examples=200, deadline=None)
+def test_bdd_matches_pointwise_semantics(expr):
+    bdd = BDD(NUM_VARS)
+    node = build(bdd, expr)
+    for bits in itertools.product([False, True], repeat=NUM_VARS):
+        assert bdd.evaluate(node, bits) == eval_expr(expr, bits)
+
+
+@given(expr=bdd_exprs(), var=st.integers(min_value=0, max_value=NUM_VARS - 1))
+@settings(max_examples=150, deadline=None)
+def test_exists_is_disjunction_of_cofactors(expr, var):
+    bdd = BDD(NUM_VARS)
+    node = build(bdd, expr)
+    quantified = bdd.exists(node, [var])
+    for bits in itertools.product([False, True], repeat=NUM_VARS):
+        low = list(bits)
+        low[var] = False
+        high = list(bits)
+        high[var] = True
+        expected = bdd.evaluate(node, low) or bdd.evaluate(node, high)
+        assert bdd.evaluate(quantified, bits) == expected
+
+
+@given(expr=bdd_exprs())
+@settings(max_examples=150, deadline=None)
+def test_count_models_matches_enumeration(expr):
+    bdd = BDD(NUM_VARS)
+    node = build(bdd, expr)
+    explicit = sum(
+        1
+        for bits in itertools.product([False, True], repeat=NUM_VARS)
+        if bdd.evaluate(node, bits)
+    )
+    assert bdd.count_models(node) == explicit
+
+
+@given(expr=bdd_exprs())
+@settings(max_examples=100, deadline=None)
+def test_double_negation(expr):
+    bdd = BDD(NUM_VARS)
+    node = build(bdd, expr)
+    assert bdd.neg(bdd.neg(node)) == node

@@ -1,0 +1,274 @@
+"""Tests for the model-checker backends, including cross-checker agreement.
+
+The key correctness arguments:
+
+* the labeling checkers agree with the *reference* trace semantics
+  (enumerate all maximal Kripke paths, evaluate each with
+  :mod:`repro.ltl.semantics`);
+* the incremental checker agrees with the batch checker across arbitrary
+  update/revert sequences (the paper's Theorem 3 / Corollary 1);
+* the automaton checker agrees with the labeling checkers.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelCheckError
+from repro.kripke.structure import KripkeStructure
+from repro.ltl import specs
+from repro.ltl.atoms import At, Dropped, FieldIs
+from repro.ltl.semantics import evaluate
+from repro.ltl.syntax import (
+    And,
+    FALSE,
+    G,
+    Next,
+    NotProp,
+    Or,
+    Prop,
+    Release,
+    TRUE,
+    Until,
+    F,
+    negate,
+)
+from repro.mc import AutomatonChecker, BatchChecker, IncrementalChecker, make_checker
+from repro.mc.netplumber import NetPlumberChecker
+from repro.net.config import Configuration
+from repro.net.fields import TrafficClass
+from repro.topo import mini_datacenter
+
+TC = TrafficClass.make("f13", src="H1", dst="H3")
+RED = ["H1", "T1", "A1", "C1", "A3", "T3", "H3"]
+GREEN = ["H1", "T1", "A1", "C2", "A3", "T3", "H3"]
+BLUE = ["H1", "T1", "A2", "C1", "A4", "T3", "H3"]
+
+
+def structure(path=RED):
+    topo = mini_datacenter()
+    config = Configuration.from_paths(topo, {TC: path})
+    return KripkeStructure(topo, config, {TC: ["H1"]})
+
+
+def reference_verdict(ks, spec):
+    """Ground truth: evaluate the spec on every maximal path."""
+    return all(evaluate(spec, path) for path in ks.maximal_paths())
+
+
+BACKENDS = ["incremental", "batch", "automaton"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestVerdicts:
+    def test_reachability_holds(self, backend):
+        ks = structure()
+        checker = make_checker(backend, ks, specs.reachability(TC, "H3"))
+        assert checker.full_check().ok
+
+    def test_reachability_fails_on_empty_config(self, backend):
+        topo = mini_datacenter()
+        ks = KripkeStructure(topo, Configuration.empty(), {TC: ["H1"]})
+        checker = make_checker(backend, ks, specs.reachability(TC, "H3"))
+        assert not checker.full_check().ok
+
+    def test_wrong_destination_fails(self, backend):
+        ks = structure()
+        checker = make_checker(backend, ks, specs.reachability(TC, "H4"))
+        assert not checker.full_check().ok
+
+    def test_waypoint(self, backend):
+        ks = structure()
+        assert make_checker(backend, ks, specs.waypoint(TC, "C1", "H3")).full_check().ok
+        assert not make_checker(backend, ks, specs.waypoint(TC, "C2", "H3")).full_check().ok
+
+    def test_service_chain(self, backend):
+        ks = structure()
+        good = specs.service_chain(TC, ["A1", "C1", "A3"], "H3")
+        bad = specs.service_chain(TC, ["C1", "A1"], "H3")  # wrong order
+        assert make_checker(backend, ks, good).full_check().ok
+        assert not make_checker(backend, ks, bad).full_check().ok
+
+    def test_isolation(self, backend):
+        ks = structure()
+        assert make_checker(backend, ks, specs.isolation(TC, "C2")).full_check().ok
+        assert not make_checker(backend, ks, specs.isolation(TC, "C1")).full_check().ok
+
+    def test_blackhole_freedom(self, backend):
+        ks = structure()
+        assert make_checker(backend, ks, specs.blackhole_freedom(TC)).full_check().ok
+        topo = mini_datacenter()
+        ks2 = KripkeStructure(topo, Configuration.empty(), {TC: ["H1"]})
+        assert not make_checker(backend, ks2, specs.blackhole_freedom(TC)).full_check().ok
+
+
+class TestCounterexamples:
+    @pytest.mark.parametrize("backend", ["incremental", "batch"])
+    def test_counterexample_is_violating_trace(self, backend):
+        topo = mini_datacenter()
+        ks = KripkeStructure(topo, Configuration.empty(), {TC: ["H1"]})
+        spec = specs.reachability(TC, "H3")
+        result = make_checker(backend, ks, spec).full_check()
+        assert not result.ok
+        assert result.counterexample
+        assert not evaluate(spec, result.counterexample)
+
+    def test_automaton_counterexample(self):
+        topo = mini_datacenter()
+        ks = KripkeStructure(topo, Configuration.empty(), {TC: ["H1"]})
+        result = AutomatonChecker(ks, specs.reachability(TC, "H3")).full_check()
+        assert not result.ok
+        assert result.counterexample
+
+
+class TestIncrementalVsBatch:
+    def test_update_sequence_agreement(self):
+        topo = mini_datacenter()
+        red = Configuration.from_paths(topo, {TC: RED})
+        green = Configuration.from_paths(topo, {TC: GREEN})
+        ks = KripkeStructure(topo, red, {TC: ["H1"]})
+        spec = specs.reachability(TC, "H3")
+        inc = IncrementalChecker(ks, spec)
+        inc.full_check()
+        rng = random.Random(7)
+        switches = sorted(red.diff_switches(green))
+        current = {sw: red.table(sw) for sw in switches}
+        for _ in range(30):
+            sw = rng.choice(switches)
+            target = green.table(sw) if current[sw] == red.table(sw) else red.table(sw)
+            current[sw] = target
+            dirty = ks.update_switch(sw, target)
+            incremental_result = inc.apply_update(dirty)
+            batch_result = BatchChecker(ks, spec).full_check()
+            assert incremental_result.ok == batch_result.ok
+
+    def test_incremental_relabels_less_than_batch(self):
+        topo = mini_datacenter()
+        red = Configuration.from_paths(topo, {TC: RED})
+        green = Configuration.from_paths(topo, {TC: GREEN})
+        ks = KripkeStructure(topo, red, {TC: ["H1"]})
+        spec = specs.reachability(TC, "H3")
+        inc = IncrementalChecker(ks, spec)
+        inc.full_check()
+        baseline = inc.relabel_count
+        dirty = ks.update_switch("C2", green.table("C2"))
+        inc.apply_update(dirty)
+        # updating an unreachable switch relabels nothing
+        assert inc.relabel_count == baseline
+
+
+class TestAutomatonAgreement:
+    @pytest.mark.parametrize(
+        "spec_factory",
+        [
+            lambda: specs.reachability(TC, "H3"),
+            lambda: specs.waypoint(TC, "C1", "H3"),
+            lambda: specs.isolation(TC, "C2"),
+            lambda: specs.blackhole_freedom(TC),
+            lambda: specs.service_chain(TC, ["A1", "C1"], "H3"),
+        ],
+    )
+    @pytest.mark.parametrize("path", [RED, GREEN, BLUE])
+    def test_agreement_on_paths(self, spec_factory, path):
+        spec = spec_factory()
+        ks1 = structure(path)
+        ks2 = structure(path)
+        assert (
+            BatchChecker(ks1, spec).full_check().ok
+            == AutomatonChecker(ks2, spec).full_check().ok
+        )
+
+    def test_agreement_matches_reference(self):
+        for path in (RED, GREEN, BLUE):
+            for spec in (
+                specs.reachability(TC, "H3"),
+                specs.waypoint(TC, "A1", "H3"),
+                specs.isolation(TC, "A2"),
+            ):
+                ks = structure(path)
+                expected = reference_verdict(ks, spec)
+                assert BatchChecker(ks, spec).full_check().ok == expected
+                ks2 = structure(path)
+                assert AutomatonChecker(ks2, spec).full_check().ok == expected
+
+
+class TestNetPlumberBackend:
+    def test_reachability_agreement(self):
+        spec = specs.reachability(TC, "H3")
+        ks = structure()
+        np = NetPlumberChecker(ks, spec)
+        assert np.full_check().ok
+        ks_bad = structure(GREEN)
+        # remove C2's table: blackhole
+        dirty = ks_bad.update_switch("C2", Configuration.empty().table("C2"))
+        np_bad = NetPlumberChecker(ks_bad, spec)
+        assert not np_bad.full_check().ok
+
+    def test_waypoint_and_chain_policies(self):
+        ks = structure()
+        assert NetPlumberChecker(ks, specs.waypoint(TC, "C1", "H3")).full_check().ok
+        assert (
+            NetPlumberChecker(ks, specs.service_chain(TC, ["A1", "C1"], "H3"))
+            .full_check()
+            .ok
+        )
+        assert not (
+            NetPlumberChecker(ks, specs.waypoint(TC, "C2", "H3")).full_check().ok
+        )
+
+    def test_isolation_policy(self):
+        ks = structure()
+        assert NetPlumberChecker(ks, specs.isolation(TC, "C2")).full_check().ok
+        assert not NetPlumberChecker(ks, specs.isolation(TC, "C1")).full_check().ok
+
+    def test_unsupported_formula_rejected(self):
+        ks = structure()
+        with pytest.raises(ModelCheckError):
+            NetPlumberChecker(ks, Next(Prop(At("T1"))))
+
+    def test_no_counterexamples(self):
+        ks = structure()
+        result = NetPlumberChecker(ks, specs.isolation(TC, "C1")).full_check()
+        assert not result.ok
+        assert result.counterexample is None
+
+
+# ----------------------------------------------------------------------
+# property-based: random formulas on a fixed structure agree with the
+# reference path semantics for all labeling backends
+# ----------------------------------------------------------------------
+ATOMS = [At("T1"), At("A1"), At("C1"), At("C2"), At("A3"), At("T3"), At("H3"), Dropped()]
+
+
+@st.composite
+def nnf_formulas(draw, depth=2):
+    if depth == 0:
+        atom = draw(st.sampled_from(ATOMS))
+        return draw(st.sampled_from([Prop(atom), NotProp(atom), TRUE, FALSE]))
+    kind = draw(
+        st.sampled_from(["leaf", "and", "or", "next", "until", "release"])
+    )
+    if kind == "leaf":
+        return draw(nnf_formulas(depth=0))
+    if kind == "next":
+        return Next(draw(nnf_formulas(depth=depth - 1)))
+    left = draw(nnf_formulas(depth=depth - 1))
+    right = draw(nnf_formulas(depth=depth - 1))
+    return {"and": And, "or": Or, "until": Until, "release": Release}[kind](left, right)
+
+
+@given(spec=nnf_formulas(), path=st.sampled_from([RED, GREEN, BLUE]))
+@settings(max_examples=150, deadline=None)
+def test_labeling_matches_reference_semantics(spec, path):
+    ks = structure(path)
+    expected = reference_verdict(ks, spec)
+    assert BatchChecker(ks, spec).full_check().ok == expected
+
+
+@given(spec=nnf_formulas(), path=st.sampled_from([RED, GREEN, BLUE]))
+@settings(max_examples=75, deadline=None)
+def test_automaton_matches_reference_semantics(spec, path):
+    ks = structure(path)
+    expected = reference_verdict(ks, spec)
+    assert AutomatonChecker(ks, spec).full_check().ok == expected

@@ -1,0 +1,78 @@
+"""Tests for controller commands and careful sequences."""
+
+from repro.net.commands import (
+    Flush,
+    Incr,
+    SwitchUpdate,
+    Wait,
+    count_waits,
+    expand_waits,
+    is_careful,
+    is_update,
+    make_careful,
+    updates_of,
+)
+from repro.net.rules import Table
+
+U1 = SwitchUpdate("A", Table())
+U2 = SwitchUpdate("B", Table())
+U3 = SwitchUpdate("C", Table())
+
+
+class TestExpansion:
+    def test_wait_desugars(self):
+        assert expand_waits([U1, Wait(), U2]) == [U1, Incr(), Flush(), U2]
+
+    def test_no_waits_untouched(self):
+        assert expand_waits([U1, U2]) == [U1, U2]
+
+
+class TestCareful:
+    def test_empty_is_careful(self):
+        assert is_careful([])
+
+    def test_single_update_is_careful(self):
+        assert is_careful([U1])
+
+    def test_adjacent_updates_not_careful(self):
+        assert not is_careful([U1, U2])
+
+    def test_wait_separates(self):
+        assert is_careful([U1, Wait(), U2])
+
+    def test_desugared_wait_separates(self):
+        assert is_careful([U1, Incr(), Flush(), U2])
+
+    def test_incr_alone_not_enough(self):
+        assert not is_careful([U1, Incr(), U2])
+
+    def test_flush_without_incr_not_enough(self):
+        assert not is_careful([U1, Flush(), U2])
+
+    def test_flush_must_follow_incr(self):
+        # flush from an older epoch does not cover a later incr
+        assert not is_careful([U1, Flush(), Incr(), U2])
+
+    def test_make_careful_inserts_waits(self):
+        seq = make_careful([U1, U2, U3])
+        assert is_careful(seq)
+        assert count_waits(seq) == 2
+
+    def test_make_careful_preserves_existing_waits(self):
+        seq = make_careful([U1, Wait(), U2])
+        assert count_waits(seq) == 1
+
+
+class TestHelpers:
+    def test_updates_of(self):
+        assert updates_of([U1, Wait(), U2, Incr()]) == [U1, U2]
+
+    def test_is_update(self):
+        assert is_update(U1)
+        assert not is_update(Wait())
+
+    def test_count_waits_mixed(self):
+        assert count_waits([U1, Wait(), U2, Incr(), Flush(), U3]) == 2
+
+    def test_count_waits_unmatched_incr(self):
+        assert count_waits([Incr(), U1]) == 0

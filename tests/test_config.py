@@ -1,0 +1,111 @@
+"""Tests for configurations and path-based rule construction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.config import Configuration, next_hops, path_rules
+from repro.net.fields import Packet, TrafficClass, packet_for_class
+from repro.net.rules import Forward, Pattern, Rule, Table
+from repro.topo import mini_datacenter
+
+TC = TrafficClass.make("f13", src="H1", dst="H3")
+RED = ["H1", "T1", "A1", "C1", "A3", "T3", "H3"]
+
+
+@pytest.fixture
+def topo():
+    return mini_datacenter()
+
+
+class TestPathRules:
+    def test_rules_follow_path(self, topo):
+        rules = path_rules(topo, TC, RED)
+        assert [sw for sw, _ in rules] == ["T1", "A1", "C1", "A3", "T3"]
+        config = Configuration.from_paths(topo, {TC: RED})
+        # walk the path via the semantics
+        node, port = topo.attachment("H1")
+        packet = packet_for_class(TC)
+        visited = [node]
+        for _ in range(10):
+            outs = config.process(node, packet, port)
+            assert len(outs) == 1
+            _, out_port = outs[0]
+            node, port = topo.peer(node, out_port)
+            visited.append(node)
+            if topo.is_host(node):
+                break
+        assert visited == RED[1:]
+
+    def test_short_path_rejected(self, topo):
+        with pytest.raises(ConfigurationError):
+            path_rules(topo, TC, ["H1", "H3"])
+
+    def test_non_host_endpoints_rejected(self, topo):
+        with pytest.raises(ConfigurationError):
+            path_rules(topo, TC, ["T1", "A1", "T3"])
+
+    def test_non_adjacent_hop_rejected(self, topo):
+        with pytest.raises(ConfigurationError):
+            path_rules(topo, TC, ["H1", "T1", "C1", "T3", "H3"])
+
+
+class TestConfiguration:
+    def test_empty_and_table(self, topo):
+        config = Configuration.empty()
+        assert config.total_rules() == 0
+        assert len(config.table("T1")) == 0
+
+    def test_with_table_functional(self, topo):
+        config = Configuration.from_paths(topo, {TC: RED})
+        rule = Rule(5, Pattern.make(), (Forward(1),))
+        updated = config.with_table("T2", Table([rule]))
+        assert updated.rule_count("T2") == 1
+        assert config.rule_count("T2") == 0
+
+    def test_with_empty_table_removes_switch(self, topo):
+        config = Configuration.from_paths(topo, {TC: RED})
+        cleared = config.with_table("T1", Table())
+        assert "T1" not in cleared.switches()
+
+    def test_diff_switches(self, topo):
+        red = Configuration.from_paths(topo, {TC: RED})
+        green = Configuration.from_paths(
+            topo, {TC: ["H1", "T1", "A1", "C2", "A3", "T3", "H3"]}
+        )
+        assert red.diff_switches(green) == frozenset({"A1", "C1", "C2"})
+
+    def test_equality_and_hash(self, topo):
+        a = Configuration.from_paths(topo, {TC: RED})
+        b = Configuration.from_paths(topo, {TC: RED})
+        assert a == b and hash(a) == hash(b)
+
+    def test_multiple_classes_merge_rules(self, topo):
+        other = TrafficClass.make("f24", src="H2", dst="H4")
+        config = Configuration.from_paths(
+            topo,
+            {
+                TC: RED,
+                other: ["H2", "T2", "A2", "C1", "A4", "T4", "H4"],
+            },
+        )
+        # C1 carries rules for both classes
+        assert config.rule_count("C1") == 2
+
+
+class TestNextHops:
+    def test_next_hop_chain(self, topo):
+        config = Configuration.from_paths(topo, {TC: RED})
+        sw, pt = topo.attachment("H1")
+        hops = next_hops(topo, config, sw, TC, pt)
+        assert len(hops) == 1
+        assert hops[0][0] == "A1"
+
+    def test_next_hop_delivery(self, topo):
+        config = Configuration.from_paths(topo, {TC: RED})
+        port_from_a3 = topo.port_to("T3", "A3")
+        hops = next_hops(topo, config, "T3", TC, port_from_a3)
+        assert hops[0][0] == "H3"
+
+    def test_no_rules_no_hops(self, topo):
+        hops = next_hops(topo, Configuration.empty(), "T1", TC, 1)
+        assert hops == []

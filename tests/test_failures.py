@@ -1,0 +1,123 @@
+"""Tests for the link-failure extension and plan robustness analysis."""
+
+import pytest
+
+from repro import Configuration, TrafficClass, UpdateSynthesizer, specs
+from repro.errors import TopologyError
+from repro.kripke.structure import KripkeStructure
+from repro.mc import make_checker
+from repro.net.failures import fail_link, links_used
+from repro.synthesis.robust import robustness_report
+from repro.topo import mini_datacenter
+
+TC = TrafficClass.make("f13", src="H1", dst="H3")
+RED = ["H1", "T1", "A1", "C1", "A3", "T3", "H3"]
+GREEN = ["H1", "T1", "A1", "C2", "A3", "T3", "H3"]
+
+
+@pytest.fixture
+def scenario():
+    topo = mini_datacenter()
+    init = Configuration.from_paths(topo, {TC: RED})
+    final = Configuration.from_paths(topo, {TC: GREEN})
+    return topo, init, final
+
+
+class TestFailLink:
+    def test_failed_link_disappears(self, scenario):
+        topo, _, _ = scenario
+        degraded = fail_link(topo, ("A1", "C1"))
+        assert not degraded.are_adjacent("A1", "C1")
+        # everything else intact, ports preserved
+        assert degraded.are_adjacent("A1", "C2")
+        assert degraded.port_to("T1", "A1") == topo.port_to("T1", "A1")
+
+    def test_multiple_failures(self, scenario):
+        topo, _, _ = scenario
+        degraded = fail_link(topo, ("A1", "C1"), ("A1", "C2"))
+        assert not degraded.are_adjacent("A1", "C1")
+        assert not degraded.are_adjacent("A1", "C2")
+
+    def test_unknown_link_rejected(self, scenario):
+        topo, _, _ = scenario
+        with pytest.raises(TopologyError):
+            fail_link(topo, ("T1", "T3"))
+
+    def test_failure_blackholes_traffic(self, scenario):
+        """Rules survive the failure; packets into the dead port are lost."""
+        topo, init, _ = scenario
+        degraded = fail_link(topo, ("A1", "C1"))
+        ks = KripkeStructure(degraded, init, {TC: ["H1"]})
+        result = make_checker("incremental", ks, specs.reachability(TC, "H3")).full_check()
+        assert not result.ok
+        assert any(s.dropped for s in result.counterexample)
+
+    def test_links_used(self, scenario):
+        topo, init, _ = scenario
+        used = {frozenset(l) for l in links_used(topo, init)}
+        assert frozenset(("T1", "A1")) in used
+        assert frozenset(("A1", "C1")) in used
+        # T3 only forwards to the host H3
+        assert frozenset(("T3", "A4")) not in used
+
+
+class TestRobustnessReport:
+    def test_single_path_plan_is_fragile(self, scenario):
+        """A single-path configuration cannot survive failures on its own
+        path: the report must flag those links, not crash."""
+        topo, init, final = scenario
+        plan = UpdateSynthesizer(topo).synthesize(
+            init, final, specs.reachability(TC, "H3"), {TC: ["H1"]}
+        )
+        report = robustness_report(
+            topo, init, plan, {TC: ["H1"]}, specs.reachability(TC, "H3")
+        )
+        assert not report.is_fully_robust()
+        # the shared T1-A1 hop is fragile at every stage
+        assert ("T1", "A1") in report.fragile_links() or (
+            "A1",
+            "T1",
+        ) in report.fragile_links()
+        assert 0 in report.fragile_stages()
+
+    def test_unused_links_survive(self, scenario):
+        topo, init, final = scenario
+        plan = UpdateSynthesizer(topo).synthesize(
+            init, final, specs.reachability(TC, "H3"), {TC: ["H1"]}
+        )
+        report = robustness_report(
+            topo, init, plan, {TC: ["H1"]}, specs.reachability(TC, "H3"),
+            links=[("A2", "C1")],  # never carries this flow
+        )
+        assert report.is_fully_robust()
+        assert report.survival_rate() == 1.0
+
+    def test_host_links_skipped(self, scenario):
+        topo, init, final = scenario
+        plan = UpdateSynthesizer(topo).synthesize(
+            init, final, specs.reachability(TC, "H3"), {TC: ["H1"]}
+        )
+        report = robustness_report(
+            topo, init, plan, {TC: ["H1"]}, specs.reachability(TC, "H3"),
+            links=[("H1", "T1")],
+        )
+        assert report.findings == []
+
+    def test_trivial_spec_always_robust(self, scenario):
+        from repro.ltl.syntax import TRUE
+
+        topo, init, final = scenario
+        plan = UpdateSynthesizer(topo).synthesize(init, final, TRUE, {TC: ["H1"]})
+        report = robustness_report(topo, init, plan, {TC: ["H1"]}, TRUE)
+        assert report.is_fully_robust()
+
+    def test_findings_str(self, scenario):
+        topo, init, final = scenario
+        plan = UpdateSynthesizer(topo).synthesize(
+            init, final, specs.reachability(TC, "H3"), {TC: ["H1"]}
+        )
+        report = robustness_report(
+            topo, init, plan, {TC: ["H1"]}, specs.reachability(TC, "H3"),
+            links=[("A1", "C1")],
+        )
+        assert any("fail A1-C1" in str(f) for f in report.findings)

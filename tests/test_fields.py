@@ -1,0 +1,76 @@
+"""Tests for packets and traffic classes."""
+
+import pytest
+
+from repro.net.fields import Packet, TrafficClass, packet_for_class
+
+
+class TestPacket:
+    def test_make_and_get(self):
+        pkt = Packet.make(src="H1", dst="H3")
+        assert pkt.get("src") == "H1"
+        assert pkt.get("dst") == "H3"
+        assert pkt.get("missing") is None
+
+    def test_fields_sorted_for_identity(self):
+        a = Packet.make(src="H1", dst="H3")
+        b = Packet.make(dst="H3", src="H1")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_with_field_is_functional(self):
+        pkt = Packet.make(src="H1", dst="H3")
+        other = pkt.with_field("dst", "H4")
+        assert pkt.get("dst") == "H3"
+        assert other.get("dst") == "H4"
+        assert other.get("src") == "H1"
+
+    def test_with_field_adds_new_field(self):
+        pkt = Packet.make(src="H1")
+        stamped = pkt.with_field("ver", "2")
+        assert stamped.get("ver") == "2"
+
+    def test_epoch_annotation(self):
+        pkt = Packet.make(epoch=3, src="H1")
+        assert pkt.epoch == 3
+        assert pkt.with_epoch(5).epoch == 5
+        # epoch does not affect header identity
+        assert pkt.header_key() == pkt.with_epoch(5).header_key()
+
+    def test_field_map_and_iter(self):
+        pkt = Packet.make(src="H1", dst="H3")
+        assert pkt.field_map() == {"src": "H1", "dst": "H3"}
+        assert dict(pkt) == {"src": "H1", "dst": "H3"}
+
+    def test_str(self):
+        assert "src=H1" in str(Packet.make(src="H1"))
+
+
+class TestTrafficClass:
+    def test_make_and_get(self):
+        tc = TrafficClass.make("f", src="H1", dst="H3")
+        assert tc.get("src") == "H1"
+        assert tc.get("nope") is None
+        assert tc.name == "f"
+
+    def test_matches_packet(self):
+        tc = TrafficClass.make("f", dst="H3")
+        assert tc.matches_packet(Packet.make(src="H1", dst="H3"))
+        assert not tc.matches_packet(Packet.make(src="H1", dst="H4"))
+
+    def test_packet_for_class(self):
+        tc = TrafficClass.make("f", src="H1", dst="H3")
+        pkt = packet_for_class(tc, epoch=2)
+        assert tc.matches_packet(pkt)
+        assert pkt.epoch == 2
+
+    def test_equality_and_hash(self):
+        a = TrafficClass.make("f", src="H1")
+        b = TrafficClass.make("f", src="H1")
+        c = TrafficClass.make("g", src="H1")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_str_mentions_fields(self):
+        assert "src=H1" in str(TrafficClass.make("f", src="H1"))

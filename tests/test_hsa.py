@@ -1,0 +1,236 @@
+"""Tests for the header-space algebra and the plumbing graph."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hsa.headerspace import FieldEncoder, HeaderSet, TernaryVector
+from repro.hsa.plumber import (
+    CoveragePolicy,
+    DropFreedomPolicy,
+    IsolationPolicy,
+    PlumbingGraph,
+    ServiceChainPolicy,
+    WaypointPolicy,
+)
+from repro.net.config import Configuration
+from repro.net.fields import TrafficClass
+from repro.topo import mini_datacenter
+
+WIDTH = 6
+
+
+def tv(text):
+    return TernaryVector.from_string(text)
+
+
+class TestTernaryVector:
+    def test_parse_roundtrip(self):
+        assert tv("1x0").to_string() == "1x0"
+
+    def test_wildcard(self):
+        w = TernaryVector.wildcard(4)
+        assert w.to_string() == "xxxx"
+
+    def test_intersect_compatible(self):
+        assert tv("1x").intersect(tv("x0")).to_string() == "10"
+
+    def test_intersect_conflicting(self):
+        assert tv("1x").intersect(tv("0x")) is None
+
+    def test_subtract_disjoint(self):
+        pieces = tv("1x").subtract(tv("0x"))
+        assert len(pieces) == 1 and pieces[0].to_string() == "1x"
+
+    def test_subtract_all(self):
+        assert tv("10").subtract(tv("1x")) == []
+
+    def test_subtract_partial(self):
+        pieces = tv("xx").subtract(tv("11"))
+        total = sum(1 << (2 - bin(p.care).count("1")) for p in pieces)
+        assert total == 3  # 4 points minus the 1 covered
+
+    def test_contains_point(self):
+        assert tv("1x").contains_point(0b10)
+        assert tv("1x").contains_point(0b11)
+        assert not tv("1x").contains_point(0b01)
+
+    def test_bad_chars_rejected(self):
+        with pytest.raises(ValueError):
+            tv("12")
+
+    def test_value_bits_must_be_cared(self):
+        with pytest.raises(ValueError):
+            TernaryVector(2, care=0b01, bits=0b10)
+
+
+class TestHeaderSet:
+    def test_empty_and_all(self):
+        assert HeaderSet.empty(4).is_empty()
+        assert HeaderSet.all(4).count_points() == 16
+
+    def test_union_intersect(self):
+        a = HeaderSet.of(tv("1x"))
+        b = HeaderSet.of(tv("x1"))
+        assert a.union(b).count_points() == 3
+        assert a.intersect(b).count_points() == 1
+
+    def test_subtract(self):
+        a = HeaderSet.all(2)
+        b = HeaderSet.of(tv("1x"))
+        assert a.subtract(b).count_points() == 2
+
+    def test_subset(self):
+        assert HeaderSet.of(tv("11")).is_subset_of(HeaderSet.of(tv("1x")))
+        assert not HeaderSet.of(tv("1x")).is_subset_of(HeaderSet.of(tv("11")))
+
+    def test_equals(self):
+        a = HeaderSet(2, [tv("10"), tv("11")])
+        b = HeaderSet.of(tv("1x"))
+        assert a.equals(b)
+
+
+# property-based boolean-algebra laws over a small universe ------------
+vectors_st = st.text(alphabet="01x", min_size=WIDTH, max_size=WIDTH).map(tv)
+sets_st = st.lists(vectors_st, min_size=0, max_size=3).map(
+    lambda vs: HeaderSet(WIDTH, vs)
+)
+points_st = st.integers(min_value=0, max_value=(1 << WIDTH) - 1)
+
+
+@given(a=sets_st, b=sets_st, p=points_st)
+@settings(max_examples=300, deadline=None)
+def test_union_membership(a, b, p):
+    assert a.union(b).contains_point(p) == (a.contains_point(p) or b.contains_point(p))
+
+
+@given(a=sets_st, b=sets_st, p=points_st)
+@settings(max_examples=300, deadline=None)
+def test_intersection_membership(a, b, p):
+    assert a.intersect(b).contains_point(p) == (
+        a.contains_point(p) and b.contains_point(p)
+    )
+
+
+@given(a=sets_st, b=sets_st, p=points_st)
+@settings(max_examples=300, deadline=None)
+def test_subtraction_membership(a, b, p):
+    assert a.subtract(b).contains_point(p) == (
+        a.contains_point(p) and not b.contains_point(p)
+    )
+
+
+@given(a=sets_st, b=sets_st)
+@settings(max_examples=200, deadline=None)
+def test_subset_iff_subtraction_empty(a, b):
+    assert a.is_subset_of(b) == a.subtract(b).is_empty()
+
+
+@given(a=sets_st)
+@settings(max_examples=200, deadline=None)
+def test_count_points_vs_enumeration(a):
+    explicit = sum(1 for p in range(1 << WIDTH) if a.contains_point(p))
+    assert a.count_points() == explicit
+
+
+class TestFieldEncoder:
+    def test_class_encoding_disjointness(self):
+        enc = FieldEncoder()
+        tc1 = TrafficClass.make("a", dst="H3")
+        tc2 = TrafficClass.make("b", dst="H4")
+        assert enc.encode_class(tc1).intersect(enc.encode_class(tc2)).is_empty()
+
+    def test_wildcard_field_superset(self):
+        enc = FieldEncoder()
+        narrow = enc.encode_fields({"src": "H1", "dst": "H3"})
+        wide = enc.encode_fields({"dst": "H3"})
+        assert HeaderSet.of(narrow).is_subset_of(HeaderSet.of(wide))
+
+    def test_too_many_values(self):
+        enc = FieldEncoder(bits_per_field=2)
+        enc.value_id("dst", "a")
+        enc.value_id("dst", "b")
+        enc.value_id("dst", "c")
+        with pytest.raises(ValueError):
+            enc.value_id("dst", "d")
+
+    def test_unknown_field(self):
+        enc = FieldEncoder(fields=("dst",))
+        with pytest.raises(KeyError):
+            enc.value_id("nope", "x")
+
+
+# ----------------------------------------------------------------------
+TC = TrafficClass.make("f13", src="H1", dst="H3")
+RED = ["H1", "T1", "A1", "C1", "A3", "T3", "H3"]
+
+
+def plumb(path=RED):
+    topo = mini_datacenter()
+    config = Configuration.from_paths(topo, {TC: path})
+    graph = PlumbingGraph(topo)
+    graph.add_source("s", TC, "H1")
+    for sw in topo.switches:
+        graph.set_table(sw, config.table(sw))
+    return topo, config, graph
+
+
+class TestPlumbingGraph:
+    def test_coverage_holds(self):
+        _, _, graph = plumb()
+        (result,) = graph.check([CoveragePolicy(TC, "H3")])
+        assert result.ok
+
+    def test_coverage_fails_on_blackhole(self):
+        topo, config, graph = plumb()
+        graph.set_table("C1", Configuration.empty().table("C1"))
+        (result,) = graph.check([CoveragePolicy(TC, "H3")])
+        assert not result.ok
+        assert "dropped" in result.detail
+
+    def test_waypoint_policies(self):
+        _, _, graph = plumb()
+        assert graph.check([WaypointPolicy(TC, "C1", "H3")])[0].ok
+        assert not graph.check([WaypointPolicy(TC, "C2", "H3")])[0].ok
+
+    def test_chain_policy(self):
+        _, _, graph = plumb()
+        assert graph.check([ServiceChainPolicy(TC, ("A1", "C1", "A3"), "H3")])[0].ok
+        assert not graph.check([ServiceChainPolicy(TC, ("C1", "A1"), "H3")])[0].ok
+
+    def test_isolation_policy(self):
+        _, _, graph = plumb()
+        assert graph.check([IsolationPolicy(TC, "C2")])[0].ok
+        assert not graph.check([IsolationPolicy(TC, "C1")])[0].ok
+
+    def test_dropfree_policy(self):
+        _, _, graph = plumb()
+        assert graph.check([DropFreedomPolicy(TC)])[0].ok
+
+    def test_incremental_skips_untouched_sources(self):
+        topo, config, graph = plumb()
+        graph.refresh()
+        before = graph.propagations
+        # C2 is not on the red path: no re-propagation needed
+        graph.set_table("C2", config.table("C1"))
+        graph.refresh()
+        assert graph.propagations == before
+
+    def test_incremental_repropagates_touched(self):
+        topo, config, graph = plumb()
+        graph.refresh()
+        before = graph.propagations
+        graph.set_table("A1", config.table("A1"))
+        graph.refresh()
+        assert graph.propagations > before
+
+    def test_loop_detection(self):
+        from repro.net.rules import Forward, Pattern, Rule, Table
+
+        topo, config, graph = plumb()
+        back = Rule(99, Pattern(None, TC.fields), (Forward(topo.port_to("C1", "A1")),))
+        fwd = Rule(99, Pattern(None, TC.fields), (Forward(topo.port_to("A1", "C1")),))
+        graph.set_table("C1", Table([back]))
+        graph.set_table("A1", Table([fwd]))
+        (result,) = graph.check([CoveragePolicy(TC, "H3")])
+        assert not result.ok
+        assert "loop" in result.detail

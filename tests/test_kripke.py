@@ -1,0 +1,169 @@
+"""Tests for the Kripke structure builder and incremental updates."""
+
+import pytest
+
+from repro.errors import ForwardingLoopError
+from repro.kripke.structure import KripkeStructure, KState, rule_covers_class
+from repro.net.config import Configuration
+from repro.net.fields import TrafficClass
+from repro.net.rules import Forward, Pattern, Rule, Table
+from repro.net.topology import Topology
+from repro.topo import mini_datacenter
+
+TC = TrafficClass.make("f13", src="H1", dst="H3")
+RED = ["H1", "T1", "A1", "C1", "A3", "T3", "H3"]
+GREEN = ["H1", "T1", "A1", "C2", "A3", "T3", "H3"]
+
+
+@pytest.fixture
+def topo():
+    return mini_datacenter()
+
+
+def build(topo, path):
+    config = Configuration.from_paths(topo, {TC: path})
+    return KripkeStructure(topo, config, {TC: ["H1"]})
+
+
+class TestBuild:
+    def test_states_along_path(self, topo):
+        ks = build(topo, RED)
+        locs = [s for s in ks.states() if s.kind == "loc"]
+        assert {s.node for s in locs} == {"T1", "A1", "C1", "A3", "T3"}
+        hosts = [s for s in ks.states() if s.kind == "host"]
+        assert {s.node for s in hosts} == {"H3"}
+
+    def test_initial_state_is_ingress(self, topo):
+        ks = build(topo, RED)
+        (init,) = ks.initial_states
+        assert init.node == "T1"
+        assert init.tc == TC
+
+    def test_host_sink_self_loops(self, topo):
+        ks = build(topo, RED)
+        host = next(s for s in ks.states() if s.kind == "host")
+        assert ks.is_sink(host)
+        assert ks.succ(host) == (host,)
+        assert ks.rank(host) == 0
+
+    def test_ranks_decrease_along_path(self, topo):
+        ks = build(topo, RED)
+        (init,) = ks.initial_states
+        # T1 -> A1 -> C1 -> A3 -> T3 -> H3 is five edges to the sink
+        assert ks.rank(init) == 5
+
+    def test_empty_config_drops_at_ingress(self, topo):
+        ks = KripkeStructure(topo, Configuration.empty(), {TC: ["H1"]})
+        (init,) = ks.initial_states
+        (succ,) = ks.succ(init)
+        assert succ.kind == "drop"
+        assert succ.dropped
+
+    def test_preds(self, topo):
+        ks = build(topo, RED)
+        (init,) = ks.initial_states
+        (next_state,) = ks.succ(init)
+        assert init in ks.preds(next_state)
+
+    def test_loop_rejected_at_build(self):
+        topo = Topology()
+        topo.add_switches(["A", "B"])
+        topo.add_host("H")
+        topo.add_link("H", "A")
+        topo.add_link("A", "B")
+        rule_ab = Rule(10, Pattern(None, TC.fields), (Forward(topo.port_to("A", "B")),))
+        rule_ba = Rule(10, Pattern(None, TC.fields), (Forward(topo.port_to("B", "A")),))
+        config = Configuration({"A": Table([rule_ab]), "B": Table([rule_ba])})
+        with pytest.raises(ForwardingLoopError) as err:
+            KripkeStructure(topo, config, {TC: ["H"]})
+        assert err.value.cycle
+
+
+class TestUpdate:
+    def test_update_switch_dirty_set(self, topo):
+        ks = build(topo, RED)
+        green = Configuration.from_paths(topo, {TC: GREEN})
+        dirty = ks.update_switch("C2", green.table("C2"))
+        # C2 is not reachable yet: no loc states of C2 exist, nothing dirty
+        assert dirty == []
+        dirty = ks.update_switch("A1", green.table("A1"))
+        assert any(s.node == "A1" for s in dirty)
+        # new states along the green path were created
+        assert any(s.node == "C2" for s in dirty)
+
+    def test_update_preserves_old_states(self, topo):
+        ks = build(topo, RED)
+        before = set(ks.states())
+        green = Configuration.from_paths(topo, {TC: GREEN})
+        ks.update_switch("A1", green.table("A1"))
+        # Q only grows (states are never removed)
+        assert before.issubset(set(ks.states()))
+
+    def test_update_and_revert_roundtrip(self, topo):
+        red_config = Configuration.from_paths(topo, {TC: RED})
+        green = Configuration.from_paths(topo, {TC: GREEN})
+        ks = build(topo, RED)
+        succ_before = {s: ks.succ(s) for s in ks.states()}
+        ks.update_switch("A1", green.table("A1"))
+        ks.update_switch("A1", red_config.table("A1"))
+        for state, succ in succ_before.items():
+            assert ks.succ(state) == succ
+
+    def test_update_creating_loop_raises(self):
+        topo = Topology()
+        topo.add_switches(["A", "B"])
+        topo.add_host("H")
+        topo.add_host("H2")
+        topo.add_link("H", "A")
+        topo.add_link("A", "B")
+        topo.add_link("B", "H2")
+        path = ["H", "A", "B", "H2"]
+        config = Configuration.from_paths(topo, {TC: path})
+        ks = KripkeStructure(topo, config, {TC: ["H"]})
+        # repoint B back at A: loop
+        bad = Rule(99, Pattern(None, TC.fields), (Forward(topo.port_to("B", "A")),))
+        with pytest.raises(ForwardingLoopError):
+            ks.update_switch("B", Table([bad]))
+        # revert restores acyclicity
+        ks.update_switch("B", config.table("B"))
+        assert ks.rank(ks.initial_states[0]) >= 1
+
+    def test_rule_granularity_update_only_touches_class(self, topo):
+        other = TrafficClass.make("f31", src="H3", dst="H1")
+        init = Configuration.from_paths(
+            topo,
+            {TC: RED, other: ["H3", "T3", "A3", "C1", "A1", "T1", "H1"]},
+        )
+        final13 = Configuration.from_paths(topo, {TC: GREEN})
+        ks = KripkeStructure(topo, init, {TC: ["H1"], other: ["H3"]})
+        dirty = ks.update_class_rules("A1", TC, final13.table("A1"))
+        assert all(s.tc == TC for s in dirty if s.kind == "loc" and s.node == "A1")
+        # the other class still flows through A1 untouched
+        assert "A1" in ks.reachable_switches(other)
+
+    def test_reachable_switches(self, topo):
+        ks = build(topo, RED)
+        assert ks.reachable_switches(TC) == frozenset({"T1", "A1", "C1", "A3", "T3"})
+
+
+class TestMaximalPaths:
+    def test_single_path(self, topo):
+        ks = build(topo, RED)
+        paths = ks.maximal_paths()
+        assert len(paths) == 1
+        nodes = [s.node for s in paths[0]]
+        assert nodes == ["T1", "A1", "C1", "A3", "T3", "H3"]
+
+
+class TestRuleCoversClass:
+    def test_exact_match(self):
+        rule = Rule(10, Pattern(None, TC.fields), (Forward(1),))
+        assert rule_covers_class(rule, TC)
+
+    def test_wildcard_covers_all(self):
+        rule = Rule(10, Pattern.make(), (Forward(1),))
+        assert rule_covers_class(rule, TC)
+
+    def test_conflicting_field_excluded(self):
+        rule = Rule(10, Pattern.make(dst="H4"), (Forward(1),))
+        assert not rule_covers_class(rule, TC)

@@ -1,0 +1,89 @@
+"""Property tests for Lemma 1: machine traces correspond to Kripke traces.
+
+For random static configurations, every completed single-packet trace of the
+operational machine must be a path of the Kripke structure (same node/port
+skeleton), and conversely every maximal Kripke path must be realizable by
+some machine execution.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kripke.structure import KripkeStructure
+from repro.net.config import Configuration
+from repro.net.fields import TrafficClass, packet_for_class
+from repro.net.machine import NetworkMachine
+from repro.topo import mini_datacenter
+
+TC = TrafficClass.make("f13", src="H1", dst="H3")
+
+PATHS = [
+    ["H1", "T1", "A1", "C1", "A3", "T3", "H3"],
+    ["H1", "T1", "A1", "C2", "A3", "T3", "H3"],
+    ["H1", "T1", "A2", "C1", "A4", "T3", "H3"],
+    ["H1", "T1", "A2", "C2", "A4", "T3", "H3"],
+    ["H1", "T1", "A1", "C1", "A4", "T3", "H3"],
+]
+
+
+def kripke_skeletons(ks):
+    """(node, port) skeletons of all maximal Kripke paths, self-loop cut."""
+    skeletons = set()
+    for path in ks.maximal_paths():
+        skeleton = []
+        for state in path:
+            if state.kind == "loc":
+                skeleton.append((state.node, state.port))
+            elif state.kind == "host":
+                skeleton.append((state.node, None))
+            else:  # drop sink: machine records the drop at the same location
+                skeleton.append((state.node, state.port, "drop"))
+        skeletons.add(tuple(skeleton))
+    return skeletons
+
+
+def machine_skeleton(trace):
+    skeleton = []
+    for view in trace:
+        if view.dropped:
+            skeleton.append((view.node, view.port, "drop"))
+        else:
+            skeleton.append((view.node, view.port))
+    return tuple(skeleton)
+
+
+@given(
+    path=st.sampled_from(PATHS),
+    drop_at=st.sampled_from([None, "A1", "C1", "A3", "T3", "C2", "A2", "A4"]),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=120, deadline=None)
+def test_machine_traces_are_kripke_traces(path, drop_at, seed):
+    topo = mini_datacenter()
+    config = Configuration.from_paths(topo, {TC: path})
+    if drop_at is not None:
+        # blackhole the configuration at one switch
+        config = config.with_table(drop_at, Configuration.empty().table(drop_at))
+    ks = KripkeStructure(topo, config, {TC: ["H1"]})
+    machine = NetworkMachine(topo, config, seed=seed)
+    for _ in range(3):
+        machine.inject("H1", packet_for_class(TC), TC)
+    machine.drain()
+    expected = kripke_skeletons(ks)
+    for trace in machine.completed_traces().values():
+        assert machine_skeleton(trace) in expected
+
+
+@pytest.mark.parametrize("path", PATHS)
+def test_every_kripke_path_realizable(path):
+    topo = mini_datacenter()
+    config = Configuration.from_paths(topo, {TC: path})
+    ks = KripkeStructure(topo, config, {TC: ["H1"]})
+    machine = NetworkMachine(topo, config, seed=0)
+    machine.inject("H1", packet_for_class(TC), TC)
+    machine.drain()
+    observed = {machine_skeleton(t) for t in machine.completed_traces().values()}
+    # deterministic single-path configs: the one Kripke path is realized
+    assert observed == kripke_skeletons(ks)

@@ -1,0 +1,263 @@
+"""Tests for LTL syntax, closure, parser, and reference semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError
+from repro.ltl.atoms import At, AtPort, Dropped, FieldIs, StateView
+from repro.ltl.closure import Closure
+from repro.ltl.parser import parse
+from repro.ltl.semantics import evaluate
+from repro.ltl.syntax import (
+    And,
+    FALSE,
+    Next,
+    NotProp,
+    Or,
+    Prop,
+    Release,
+    TRUE,
+    Until,
+    atoms_of,
+    conj,
+    disj,
+    F,
+    G,
+    implies,
+    negate,
+)
+from repro.net.fields import TrafficClass
+
+TC = TrafficClass.make("f", src="H1", dst="H3")
+
+
+def view(node, port=1, dropped=False):
+    return StateView(node, port, TC, dropped)
+
+
+class TestAtoms:
+    def test_at(self):
+        assert At("S1").holds(view("S1"))
+        assert not At("S1").holds(view("S2"))
+
+    def test_at_port(self):
+        assert AtPort("S1", 1).holds(view("S1", 1))
+        assert not AtPort("S1", 2).holds(view("S1", 1))
+
+    def test_field(self):
+        assert FieldIs("dst", "H3").holds(view("S1"))
+        assert not FieldIs("dst", "H4").holds(view("S1"))
+
+    def test_dropped(self):
+        assert Dropped().holds(view("S1", dropped=True))
+        assert not Dropped().holds(view("S1"))
+
+
+class TestSyntax:
+    def test_negate_involution(self):
+        phi = Until(Prop(At("a")), And(Prop(At("b")), NotProp(At("c"))))
+        assert negate(negate(phi)) == phi
+
+    def test_negate_duals(self):
+        assert negate(TRUE) == FALSE
+        a, b = Prop(At("a")), Prop(At("b"))
+        assert isinstance(negate(And(a, b)), Or)
+        assert isinstance(negate(Until(a, b)), Release)
+        assert isinstance(negate(Release(a, b)), Until)
+        assert isinstance(negate(Next(a)), Next)
+
+    def test_sugar(self):
+        a = Prop(At("a"))
+        assert F(a) == Until(TRUE, a)
+        assert G(a) == Release(FALSE, a)
+
+    def test_conj_disj_simplify(self):
+        a = Prop(At("a"))
+        assert conj(TRUE, a) == a
+        assert conj(FALSE, a) == FALSE
+        assert disj(FALSE, a) == a
+        assert disj(TRUE, a) == TRUE
+        assert conj() == TRUE
+        assert disj() == FALSE
+
+    def test_implies_is_nnf(self):
+        a, b = Prop(At("a")), Prop(At("b"))
+        result = implies(a, b)
+        assert result == Or(NotProp(At("a")), b)
+
+    def test_atoms_of(self):
+        phi = implies(Prop(FieldIs("dst", "H3")), F(Prop(At("H3"))))
+        assert atoms_of(phi) == frozenset({FieldIs("dst", "H3"), At("H3")})
+
+    def test_operators(self):
+        a, b = Prop(At("a")), Prop(At("b"))
+        assert (a & b) == And(a, b)
+        assert (a | b) == Or(a, b)
+        assert ~a == NotProp(At("a"))
+
+    def test_size(self):
+        a = Prop(At("a"))
+        assert a.size() == 1
+        assert And(a, a).size() == 3
+
+
+class TestClosure:
+    def test_children_before_parents(self):
+        phi = Until(Prop(At("a")), And(Prop(At("b")), Prop(At("c"))))
+        closure = Closure(phi)
+        index = closure.index
+        assert index[phi] > index[phi.left]
+        assert index[phi] > index[phi.right]
+        assert index[phi.right] > index[phi.right.left]
+
+    def test_root_is_member(self):
+        phi = F(Prop(At("a")))
+        closure = Closure(phi)
+        assert phi in closure
+        assert len(closure) == 3  # true, at(a), true U at(a)
+
+    def test_temporal_subset(self):
+        phi = And(Next(Prop(At("a"))), G(Prop(At("b"))))
+        closure = Closure(phi)
+        assert len(closure.temporal) == 2
+
+
+class TestParser:
+    def test_reachability(self):
+        phi = parse("dst=H3 => F at(H3)")
+        assert phi == implies(Prop(FieldIs("dst", "H3")), F(Prop(At("H3"))))
+
+    def test_waypoint_shape(self):
+        phi = parse("!at(d) U (at(w) & F at(d))")
+        assert isinstance(phi, Until)
+        assert phi.left == NotProp(At("d"))
+
+    def test_globally_not_dropped(self):
+        phi = parse("G !dropped")
+        assert phi == G(NotProp(Dropped()))
+
+    def test_port_atom(self):
+        phi = parse("at(S1:3)")
+        assert phi == Prop(AtPort("S1", 3))
+
+    def test_precedence_and_or(self):
+        phi = parse("at(a) | at(b) & at(c)")
+        # & binds tighter than |
+        assert isinstance(phi, Or)
+
+    def test_implication_right_assoc(self):
+        phi = parse("at(a) => at(b) => at(c)")
+        assert isinstance(phi, Or)
+
+    def test_constants(self):
+        assert parse("true") == TRUE
+        assert parse("false") == FALSE
+
+    def test_parens(self):
+        assert parse("(at(a))") == Prop(At("a"))
+
+    def test_negation_pushes_inward(self):
+        phi = parse("!(at(a) & at(b))")
+        assert isinstance(phi, Or)
+
+    def test_until_right_assoc(self):
+        phi = parse("at(a) U at(b) U at(c)")
+        assert isinstance(phi, Until)
+        assert isinstance(phi.right, Until)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "at(", "at(a) &", "foo", "at(a) @ at(b)", "at(a) at(b)", "at(a:b)"],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+
+class TestSemantics:
+    def test_eventually(self):
+        trace = [view("a"), view("b"), view("c")]
+        assert evaluate(F(Prop(At("c"))), trace)
+        assert not evaluate(F(Prop(At("d"))), trace)
+
+    def test_globally_with_lasso(self):
+        trace = [view("a"), view("a")]
+        assert evaluate(G(Prop(At("a"))), trace)
+        trace2 = [view("a"), view("b")]
+        assert not evaluate(G(Prop(At("a"))), trace2)
+
+    def test_next(self):
+        trace = [view("a"), view("b")]
+        assert evaluate(Next(Prop(At("b"))), trace)
+        # beyond the end, the final state repeats
+        assert evaluate(Next(Next(Prop(At("b")))), trace)
+
+    def test_until(self):
+        trace = [view("a"), view("a"), view("b")]
+        assert evaluate(Until(Prop(At("a")), Prop(At("b"))), trace)
+        assert not evaluate(Until(Prop(At("a")), Prop(At("c"))), trace)
+
+    def test_until_requires_left_to_hold(self):
+        trace = [view("a"), view("x"), view("b")]
+        assert not evaluate(Until(Prop(At("a")), Prop(At("b"))), trace)
+
+    def test_release_lasso(self):
+        trace = [view("a"), view("a")]
+        # G a == false R a: holds on the constant trace
+        assert evaluate(Release(FALSE, Prop(At("a"))), trace)
+
+    def test_release_released(self):
+        # a R b: b must hold up to and including the point where a holds
+        trace = [view("b"), view("ab")]
+        phi = Release(Prop(At("ab")), disj(Prop(At("b")), Prop(At("ab"))))
+        assert evaluate(phi, trace)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate(TRUE, [])
+
+
+# ----------------------------------------------------------------------
+# property-based: negation duality and F/G relationships
+# ----------------------------------------------------------------------
+NODES = ["a", "b", "c"]
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0:
+        node = draw(st.sampled_from(NODES))
+        return draw(st.sampled_from([Prop(At(node)), NotProp(At(node)), TRUE, FALSE]))
+    kind = draw(st.sampled_from(["atom", "and", "or", "next", "until", "release"]))
+    if kind == "atom":
+        return draw(formulas(depth=0))
+    if kind == "next":
+        return Next(draw(formulas(depth=depth - 1)))
+    left = draw(formulas(depth=depth - 1))
+    right = draw(formulas(depth=depth - 1))
+    return {"and": And, "or": Or, "until": Until, "release": Release}[kind](left, right)
+
+
+traces_st = st.lists(st.sampled_from(NODES), min_size=1, max_size=6).map(
+    lambda nodes: [view(n) for n in nodes]
+)
+
+
+@given(phi=formulas(), trace=traces_st)
+@settings(max_examples=300, deadline=None)
+def test_negation_is_complement(phi, trace):
+    assert evaluate(phi, trace) != evaluate(negate(phi), trace)
+
+
+@given(phi=formulas(depth=2), trace=traces_st)
+@settings(max_examples=200, deadline=None)
+def test_globally_implies_eventually(phi, trace):
+    if evaluate(G(phi), trace):
+        assert evaluate(F(phi), trace)
+
+
+@given(phi=formulas(depth=2), trace=traces_st)
+@settings(max_examples=200, deadline=None)
+def test_next_of_false_is_false(phi, trace):
+    assert not evaluate(Next(FALSE), trace)
+    assert evaluate(Next(TRUE), trace)

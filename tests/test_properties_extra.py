@@ -1,0 +1,200 @@
+"""Deeper cross-layer property tests.
+
+These tie the incremental machinery to ground truth under *randomized*
+workloads: arbitrary interleavings of switch- and rule-granularity updates
+and reverts, serializer round-trips over generated objects, and structural
+invariants of the topology generators.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kripke.structure import KripkeStructure
+from repro.ltl import specs
+from repro.mc import BatchChecker, IncrementalChecker
+from repro.net.config import Configuration
+from repro.net.fields import TrafficClass
+from repro.net.serialize import (
+    config_from_dict,
+    config_to_dict,
+    problem_from_dict,
+    problem_to_dict,
+    Problem,
+)
+from repro.net.rules import Forward, Pattern, Rule, Table
+from repro.topo import fat_tree, mini_datacenter, small_world
+
+TC = TrafficClass.make("f13", src="H1", dst="H3")
+TC2 = TrafficClass.make("f14", src="H1", dst="H4")
+
+PATHS_13 = [
+    ["H1", "T1", "A1", "C1", "A3", "T3", "H3"],
+    ["H1", "T1", "A1", "C2", "A3", "T3", "H3"],
+    ["H1", "T1", "A2", "C1", "A4", "T3", "H3"],
+    ["H1", "T1", "A2", "C2", "A4", "T3", "H3"],
+]
+PATHS_14 = [
+    ["H1", "T1", "A1", "C1", "A4", "T4", "H4"],
+    ["H1", "T1", "A2", "C2", "A3", "T4", "H4"],
+]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10000),
+    steps=st.integers(min_value=5, max_value=25),
+    rule_gran=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_incremental_equals_batch_under_random_mutation(seed, steps, rule_gran):
+    """The paper's Corollary 1, stress-tested: after any sequence of
+    switch/class updates (including reverts), the incremental labeling's
+    verdict equals a from-scratch batch check."""
+    rng = random.Random(seed)
+    topo = mini_datacenter()
+    base = Configuration.from_paths(
+        topo, {TC: PATHS_13[0], TC2: PATHS_14[0]}
+    )
+    alternatives = [
+        Configuration.from_paths(topo, {TC: p13, TC2: p14})
+        for p13 in PATHS_13
+        for p14 in PATHS_14
+    ]
+    spec = specs.all_of(
+        [specs.reachability(TC, "H3"), specs.reachability(TC2, "H4")]
+    )
+    ks = KripkeStructure(topo, base, {TC: ["H1"], TC2: ["H1"]})
+    inc = IncrementalChecker(ks, spec)
+    inc.full_check()
+    switches = sorted({sw for c in alternatives for sw in c.switches()})
+    for _ in range(steps):
+        target = rng.choice(alternatives)
+        sw = rng.choice(switches)
+        if rule_gran:
+            tc = rng.choice([TC, TC2])
+            dirty = ks.update_class_rules(sw, tc, target.table(sw))
+        else:
+            dirty = ks.update_switch(sw, target.table(sw))
+        incremental = inc.apply_update(dirty)
+        batch = BatchChecker(ks, spec).full_check()
+        assert incremental.ok == batch.ok
+
+
+class TestSerializerProperties:
+    configs = st.lists(
+        st.tuples(
+            st.sampled_from(["T1", "A1", "C1", "C2", "A3", "T3"]),
+            st.integers(min_value=1, max_value=3),  # out port
+            st.integers(min_value=1, max_value=200),  # priority
+            st.sampled_from(["H3", "H4", "H1"]),
+        ),
+        min_size=0,
+        max_size=10,
+    )
+
+    @given(entries=configs)
+    @settings(max_examples=100, deadline=None)
+    def test_config_roundtrip_property(self, entries):
+        tables = {}
+        for sw, port, priority, dst in entries:
+            rule = Rule(priority, Pattern.make(dst=dst), (Forward(port),))
+            tables.setdefault(sw, []).append(rule)
+        config = Configuration({sw: Table(rules) for sw, rules in tables.items()})
+        # via JSON text to catch type regressions (ints vs strings)
+        text = json.dumps(config_to_dict(config))
+        assert config_from_dict(json.loads(text)) == config
+
+    def test_problem_roundtrip_preserves_everything(self):
+        from repro.ltl.parser import parse
+
+        topo = mini_datacenter()
+        problem = Problem(
+            topology=topo,
+            ingresses={TC: ["H1"], TC2: ["H1"]},
+            init=Configuration.from_paths(topo, {TC: PATHS_13[0]}),
+            final=Configuration.from_paths(topo, {TC: PATHS_13[1]}),
+            spec=parse("dst=H3 => F at(H3)"),
+            spec_text="dst=H3 => F at(H3)",
+        )
+        clone = problem_from_dict(
+            json.loads(json.dumps(problem_to_dict(problem)))
+        )
+        assert clone.init == problem.init
+        assert clone.final == problem.final
+        assert clone.spec == problem.spec
+        assert set(clone.ingresses) == set(problem.ingresses)
+
+
+class TestTopologyInvariants:
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_fattree_structure(self, k):
+        topo = fat_tree(k)
+        half = k // 2
+        cores = [s for s in topo.switches if s.startswith("C")]
+        aggs = [s for s in topo.switches if s.startswith("A")]
+        edges = [s for s in topo.switches if s.startswith("E")]
+        assert len(cores) == half * half
+        assert len(aggs) == k * half
+        assert len(edges) == k * half
+        # every aggregation switch connects to exactly half cores + half edges
+        for agg in aggs:
+            neighbors = topo.neighbors(agg)
+            assert sum(1 for n in neighbors if n.startswith("C")) == half
+            assert sum(1 for n in neighbors if n.startswith("E")) == half
+        # core stripe property: each core connects to every pod exactly once
+        for core in cores:
+            pods = {n.split("_")[0] for n in topo.neighbors(core)}
+            assert len(pods) == k
+
+    @given(
+        n=st.integers(min_value=8, max_value=60),
+        p=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_small_world_invariants(self, n, p, seed):
+        topo = small_world(n, rewire_probability=p, seed=seed)
+        assert len(topo.switches) == n
+        # the distance-1 ring survives rewiring: two disjoint arcs exist
+        for i in range(n):
+            assert topo.are_adjacent(f"S{i}", f"S{(i + 1) % n}")
+        # no duplicate links (Topology enforces it; count sanity)
+        assert len(topo.links) >= n
+
+
+class TestMachineEpochInvariants:
+    def test_epochs_monotone_along_traces(self):
+        """A packet's recorded trace spans a single epoch stamp: each packet
+        is annotated once at ingress (the IN rule)."""
+        from repro.net.commands import Incr
+        from repro.net.fields import packet_for_class
+        from repro.net.machine import NetworkMachine
+
+        topo = mini_datacenter()
+        config = Configuration.from_paths(topo, {TC: PATHS_13[0]})
+        machine = NetworkMachine(topo, config, seed=9)
+        machine.inject("H1", packet_for_class(TC), TC)
+        machine.set_commands([Incr()])
+        machine.step_controller()
+        machine.inject("H1", packet_for_class(TC), TC)
+        machine.drain()
+        assert machine.epoch == 1
+        assert all(o == "delivered" for o in machine.outcome.values())
+
+    def test_flush_unblocks_exactly_when_drained(self):
+        from repro.net.commands import Flush, Incr
+        from repro.net.fields import packet_for_class
+        from repro.net.machine import NetworkMachine
+
+        topo = mini_datacenter()
+        config = Configuration.from_paths(topo, {TC: PATHS_13[0]})
+        machine = NetworkMachine(topo, config, seed=2)
+        machine.inject("H1", packet_for_class(TC), TC)
+        machine.set_commands([Incr(), Flush()])
+        assert machine.step_controller()
+        blocked_at_least_once = not machine.step_controller()
+        machine.drain()
+        assert machine.step_controller()
+        assert blocked_at_least_once

@@ -1,0 +1,111 @@
+"""Tests for patterns, rules, and the [[tbl]] table semantics."""
+
+import pytest
+
+from repro.net.fields import Packet
+from repro.net.rules import EMPTY_TABLE, Forward, Pattern, Rule, SetField, Table
+
+
+def fwd_rule(priority, port, **fields):
+    return Rule(priority, Pattern.make(**fields), (Forward(port),))
+
+
+class TestPattern:
+    def test_wildcard_matches_everything(self):
+        pat = Pattern.make()
+        assert pat.is_wildcard()
+        assert pat.matches(Packet.make(src="H1"), 7)
+
+    def test_field_constraint(self):
+        pat = Pattern.make(dst="H3")
+        assert pat.matches(Packet.make(dst="H3"), 1)
+        assert not pat.matches(Packet.make(dst="H4"), 1)
+
+    def test_in_port_constraint(self):
+        pat = Pattern.make(in_port=2, dst="H3")
+        assert pat.matches(Packet.make(dst="H3"), 2)
+        assert not pat.matches(Packet.make(dst="H3"), 3)
+
+    def test_str_forms(self):
+        assert str(Pattern.make()) == "{*}"
+        assert "pt=1" in str(Pattern.make(in_port=1))
+
+
+class TestRule:
+    def test_forward_emits_packet(self):
+        rule = fwd_rule(10, 4, dst="H3")
+        out = rule.apply(Packet.make(dst="H3"), 1)
+        assert out == [(Packet.make(dst="H3"), 4)]
+
+    def test_setfield_then_forward(self):
+        rule = Rule(10, Pattern.make(), (SetField("ver", "2"), Forward(1)))
+        out = rule.apply(Packet.make(dst="H3"), 1)
+        assert len(out) == 1
+        assert out[0][0].get("ver") == "2"
+
+    def test_multicast_action_list(self):
+        rule = Rule(10, Pattern.make(), (Forward(1), SetField("f", "x"), Forward(2)))
+        out = rule.apply(Packet.make(), 0)
+        assert len(out) == 2
+        assert out[0][0].get("f") is None  # first copy unmodified
+        assert out[1][0].get("f") == "x"  # rewrite applies to later copies
+
+    def test_drop_rule_has_no_outputs(self):
+        rule = Rule(10, Pattern.make(), ())
+        assert rule.apply(Packet.make(), 0) == []
+        assert "drop" in str(rule)
+
+
+class TestTable:
+    def test_empty_table_drops(self):
+        assert EMPTY_TABLE.process(Packet.make(dst="H3"), 1) == []
+
+    def test_highest_priority_wins(self):
+        low = fwd_rule(10, 1, dst="H3")
+        high = fwd_rule(20, 2, dst="H3")
+        table = Table([low, high])
+        out = table.process(Packet.make(dst="H3"), 0)
+        assert out[0][1] == 2
+
+    def test_priority_order_is_input_order_independent(self):
+        low = fwd_rule(10, 1)
+        high = fwd_rule(20, 2)
+        assert Table([low, high]) == Table([high, low])
+        assert hash(Table([low, high])) == hash(Table([high, low]))
+
+    def test_no_match_drops(self):
+        table = Table([fwd_rule(10, 1, dst="H3")])
+        assert table.process(Packet.make(dst="H4"), 0) == []
+
+    def test_lookup_returns_matching_rule(self):
+        r = fwd_rule(10, 1, dst="H3")
+        table = Table([r])
+        assert table.lookup(Packet.make(dst="H3"), 0) is r
+        assert table.lookup(Packet.make(dst="H4"), 0) is None
+
+    def test_with_and_without_rule(self):
+        r1 = fwd_rule(10, 1, dst="H3")
+        r2 = fwd_rule(20, 2, dst="H4")
+        table = Table([r1]).with_rule(r2)
+        assert len(table) == 2
+        assert len(table.without_rule(r1)) == 1
+
+    def test_restrict(self):
+        r1 = fwd_rule(10, 1, dst="H3")
+        r2 = fwd_rule(20, 2, dst="H4")
+        table = Table([r1, r2]).restrict(lambda r: r.priority > 15)
+        assert list(table) == [r2]
+
+    def test_merge(self):
+        t1 = Table([fwd_rule(10, 1)])
+        t2 = Table([fwd_rule(20, 2)])
+        assert len(t1.merge(t2)) == 2
+
+    def test_equal_priority_deterministic(self):
+        r1 = fwd_rule(10, 1, dst="H3")
+        r2 = fwd_rule(10, 2, dst="H3")
+        table = Table([r1, r2])
+        # semantics is free to pick either; ours is deterministic
+        first = table.process(Packet.make(dst="H3"), 0)
+        again = table.process(Packet.make(dst="H3"), 0)
+        assert first == again

@@ -1,0 +1,173 @@
+"""Tests for the OpenFlow runtime, simulator, and update strategies."""
+
+import pytest
+
+from repro import Configuration, TrafficClass, UpdateSynthesizer, specs
+from repro.net.rules import Forward, Pattern, Rule, Table
+from repro.runtime import (
+    NaiveStrategy,
+    OrderedStrategy,
+    TwoPhaseStrategy,
+    run_update_experiment,
+)
+from repro.runtime.openflow import AtomicBundle, FlowMod, SwitchAgent
+from repro.runtime.simulator import TickSimulator
+from repro.runtime import twophase
+from repro.topo import mini_datacenter
+
+TC = TrafficClass.make("f13", src="H1", dst="H3")
+RED = ["H1", "T1", "A1", "C1", "A3", "T3", "H3"]
+GREEN = ["H1", "T1", "A1", "C2", "A3", "T3", "H3"]
+
+
+def scenario():
+    topo = mini_datacenter()
+    init = Configuration.from_paths(topo, {TC: RED})
+    final = Configuration.from_paths(topo, {TC: GREEN})
+    return topo, init, final, {TC: ("H1", "H3")}
+
+
+def rule(priority, port, **fields):
+    return Rule(priority, Pattern.make(**fields), (Forward(port),))
+
+
+class TestSwitchAgent:
+    def test_flowmod_latency(self):
+        agent = SwitchAgent("S", Table(), install_latency=3)
+        agent.enqueue(FlowMod("add", rule(10, 1)))
+        agent.tick()
+        agent.tick()
+        assert agent.rule_count() == 0
+        agent.tick()
+        assert agent.rule_count() == 1
+
+    def test_remove_missing_rule_noop(self):
+        agent = SwitchAgent("S", Table(), install_latency=1)
+        agent.enqueue(FlowMod("remove", rule(10, 1)))
+        agent.tick()
+        assert agent.rule_count() == 0
+
+    def test_max_rules_tracks_peak(self):
+        agent = SwitchAgent("S", Table([rule(10, 1)]), install_latency=1)
+        agent.enqueue(FlowMod("add", rule(20, 2)))
+        agent.enqueue(FlowMod("remove", rule(10, 1)))
+        agent.tick()
+        agent.tick()
+        assert agent.rule_count() == 1
+        assert agent.max_rules == 2
+
+    def test_atomic_bundle_never_mixes(self):
+        old = rule(10, 1, dst="H3")
+        new = rule(10, 2, dst="H3")
+        agent = SwitchAgent("S", Table([old]), install_latency=1)
+        agent.enqueue_atomic_replacement(Table([new]))
+        # during installation the old table stays active
+        agent.tick()
+        counts = {agent.rule_count()}
+        while not agent.barrier_done():
+            agent.tick()
+            counts.add(agent.rule_count())
+        assert counts == {1}
+        assert agent.max_rules == 1
+        assert agent.table == Table([new])
+
+    def test_barrier(self):
+        agent = SwitchAgent("S", Table(), install_latency=1)
+        assert agent.barrier_done()
+        agent.enqueue(FlowMod("add", rule(10, 1)))
+        assert not agent.barrier_done()
+        agent.tick()
+        assert agent.barrier_done()
+
+
+class TestSimulator:
+    def test_probes_delivered_steady_state(self):
+        topo, init, _final, flows = scenario()
+        sim = TickSimulator(topo, init, flows)
+        sim.run(50)
+        sim.drain()
+        lost, sent = sim.stats.loss_window()
+        assert sent > 0
+        assert lost == 0
+
+    def test_blackhole_loses_probes(self):
+        topo, init, _final, flows = scenario()
+        sim = TickSimulator(topo, Configuration.empty(), flows)
+        sim.run(30)
+        sim.drain()
+        lost, sent = sim.stats.loss_window()
+        assert lost == sent
+
+    def test_delivery_series_buckets(self):
+        topo, init, _final, flows = scenario()
+        sim = TickSimulator(topo, init, flows)
+        sim.run(60)
+        sim.drain()
+        series = sim.stats.delivery_series(bucket=20)
+        assert len(series) >= 3
+        assert all(0.0 <= frac <= 1.0 for _, frac in series)
+
+
+class TestTwoPhaseRules:
+    def test_versioned_rules_match_only_stamped(self):
+        topo, _init, final, _flows = scenario()
+        v2 = twophase.versioned_rules(final)
+        for rules in v2.values():
+            for r in rules:
+                assert ("ver", "2") in r.pattern.fields
+
+    def test_stamping_rule_forwards_like_final(self):
+        topo, _init, final, flows = scenario()
+        stamps = twophase.stamping_rules(topo, final, flows)
+        assert "T1" in stamps
+        (stamp,) = stamps["T1"]
+        # the stamp sends out the same port the final config uses
+        from repro.net.fields import packet_for_class
+
+        _, port = final.table("T1").process(packet_for_class(TC), 0)[0]
+        out = stamp.apply(packet_for_class(TC), 0)
+        assert out[0][1] == port
+        assert out[0][0].get("ver") == "2"
+
+    def test_missing_ingress_rule_rejected(self):
+        topo, _init, _final, flows = scenario()
+        with pytest.raises(Exception):
+            twophase.stamping_rules(topo, Configuration.empty(), flows)
+
+    def test_steady_state_counts(self):
+        topo, _init, final, flows = scenario()
+        steady = twophase.steady_state(topo, final, flows)
+        assert steady.rule_count("T1") == final.rule_count("T1") + 1  # + stamp
+
+
+class TestStrategies:
+    def test_naive_bad_order_loses_probes(self):
+        topo, init, final, flows = scenario()
+        result = run_update_experiment(
+            topo, init, final, flows, NaiveStrategy(final, order=["A1", "C1", "C2"])
+        )
+        assert result.loss_fraction() > 0
+
+    def test_ordering_is_lossless(self):
+        topo, init, final, flows = scenario()
+        plan = UpdateSynthesizer(topo).synthesize(
+            init, final, specs.reachability(TC, "H3"), {TC: ["H1"]}
+        )
+        result = run_update_experiment(topo, init, final, flows, OrderedStrategy(plan, final))
+        assert result.loss_fraction() == 0.0
+
+    def test_two_phase_is_lossless_but_doubles_rules(self):
+        topo, init, final, flows = scenario()
+        result = run_update_experiment(
+            topo, init, final, flows, TwoPhaseStrategy(topo, init, final, flows)
+        )
+        assert result.loss_fraction() == 0.0
+        assert max(result.overhead.values()) >= 2.0
+
+    def test_ordering_overhead_stays_at_one(self):
+        topo, init, final, flows = scenario()
+        plan = UpdateSynthesizer(topo).synthesize(
+            init, final, specs.reachability(TC, "H3"), {TC: ["H1"]}
+        )
+        result = run_update_experiment(topo, init, final, flows, OrderedStrategy(plan, final))
+        assert max(result.overhead.values()) <= 1.0

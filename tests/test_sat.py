@@ -1,0 +1,213 @@
+"""Tests for the CDCL SAT solver and the ordering-constraint encoder."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import SatSolver
+from repro.synthesis.ordering import OrderingConstraints
+
+
+def brute_force(num_vars, clauses, assumptions=()):
+    """Reference SAT decision by enumeration."""
+    fixed = {abs(l): l > 0 for l in assumptions}
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {v + 1: bits[v] for v in range(num_vars)}
+        if any(assignment[v] != val for v, val in fixed.items()):
+            continue
+        if all(
+            any(assignment[abs(l)] == (l > 0) for l in clause) for clause in clauses
+        ):
+            return True
+    return False
+
+
+class TestSolverBasics:
+    def test_empty_formula_sat(self):
+        assert SatSolver().solve()
+
+    def test_unit_clauses(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-2])
+        assert solver.solve()
+        assert solver.value(1) is True
+        assert solver.value(2) is False
+
+    def test_contradiction(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        assert not solver.add_clause([-1])
+        assert not solver.solve()
+
+    def test_simple_implication_chain(self):
+        solver = SatSolver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        solver.add_clause([1])
+        assert solver.solve()
+        assert solver.value(3) is True
+
+    def test_pigeonhole_2_in_1_unsat(self):
+        # two pigeons, one hole
+        solver = SatSolver()
+        solver.add_clause([1])   # pigeon1 in hole1
+        solver.add_clause([2])   # pigeon2 in hole1
+        solver.add_clause([-1, -2])
+        assert not solver.solve()
+
+    def test_tautological_clause_ignored(self):
+        solver = SatSolver()
+        assert solver.add_clause([1, -1])
+        assert solver.solve()
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            SatSolver().add_clause([0])
+
+    def test_model_satisfies_formula(self):
+        clauses = [[1, 2, -3], [-1, 3], [2, 3], [-2, -3, 1]]
+        solver = SatSolver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve()
+        model = solver.model()
+        for clause in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1])
+        assert solver.value(2) is True
+
+    def test_unsat_under_assumptions_recovers(self):
+        solver = SatSolver()
+        solver.add_clause([-1, 2])
+        assert not solver.solve(assumptions=[1, -2])
+        assert solver.last_core  # some core reported
+        # still satisfiable without assumptions
+        assert solver.solve()
+
+    def test_incremental_clause_addition(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve()
+        solver.add_clause([-1])
+        assert solver.solve()
+        assert solver.value(2) is True
+        solver.add_clause([-2])
+        assert not solver.solve()
+
+
+# property-based cross-check against brute force ------------------------
+clauses_st = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=5).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(clauses=clauses_st)
+@settings(max_examples=300, deadline=None)
+def test_solver_matches_brute_force(clauses):
+    solver = SatSolver()
+    ok = True
+    for clause in clauses:
+        ok = solver.add_clause(clause) and ok
+    result = solver.solve() if ok else False
+    assert result == brute_force(5, clauses)
+
+
+@given(clauses=clauses_st, assumption_bits=st.lists(st.booleans(), min_size=2, max_size=2))
+@settings(max_examples=200, deadline=None)
+def test_solver_with_assumptions_matches_brute_force(clauses, assumption_bits):
+    assumptions = [(1 if assumption_bits[0] else -1), (2 if assumption_bits[1] else -2)]
+    solver = SatSolver()
+    ok = True
+    for clause in clauses:
+        ok = solver.add_clause(clause) and ok
+    result = solver.solve(assumptions) if ok else False
+    assert result == brute_force(5, clauses, assumptions)
+
+
+@given(clauses=clauses_st, seed=st.integers(min_value=0, max_value=99))
+@settings(max_examples=100, deadline=None)
+def test_incremental_equals_from_scratch(clauses, seed):
+    """Adding clauses one by one gives the same verdicts as fresh solvers."""
+    rng = random.Random(seed)
+    incremental = SatSolver()
+    added = []
+    for clause in clauses:
+        ok = incremental.add_clause(clause)
+        added.append(clause)
+        if rng.random() < 0.5:
+            expected = brute_force(5, added)
+            got = incremental.solve() if ok else False
+            assert got == expected
+
+
+class TestCNF:
+    def test_var_interning(self):
+        cnf = CNF()
+        assert cnf.var("a") == cnf.var("a")
+        assert cnf.var("a") != cnf.var("b")
+        assert cnf.name_of(cnf.var("a")) == "a"
+
+    def test_named_clause(self):
+        cnf = CNF()
+        clause = cnf.add_named_clause(("a", True), ("b", False))
+        assert clause == (cnf.var("a"), -cnf.var("b"))
+        assert len(cnf) == 1
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            CNF().add_clause([])
+
+
+class TestOrderingConstraints:
+    def test_single_constraint_feasible(self):
+        oc = OrderingConstraints()
+        oc.add_counterexample(["A"], ["C"])
+        assert oc.feasible()
+
+    def test_cycle_infeasible(self):
+        oc = OrderingConstraints()
+        oc.add_counterexample(["A"], ["B"])  # B before A
+        oc.add_counterexample(["B"], ["A"])  # A before B
+        assert not oc.feasible()
+
+    def test_three_cycle_infeasible(self):
+        oc = OrderingConstraints()
+        oc.add_counterexample(["A"], ["B"])
+        oc.add_counterexample(["B"], ["C"])
+        oc.add_counterexample(["C"], ["A"])
+        assert not oc.feasible()
+
+    def test_disjunction_keeps_feasibility(self):
+        oc = OrderingConstraints()
+        oc.add_counterexample(["A", "B"], ["C"])  # C<A or C<B
+        oc.add_counterexample(["C"], ["A"])       # A<C
+        # C<B remains possible
+        assert oc.feasible()
+
+    def test_empty_updated_side_infeasible(self):
+        oc = OrderingConstraints()
+        oc.add_counterexample([], ["A"])
+        assert not oc.feasible()
+
+    def test_empty_not_updated_side_infeasible(self):
+        oc = OrderingConstraints()
+        oc.add_counterexample(["A"], [])
+        assert not oc.feasible()

@@ -1,0 +1,99 @@
+"""Tests for the specification library against the checker backends."""
+
+import pytest
+
+from repro.errors import UpdateInfeasibleError
+from repro.kripke.structure import KripkeStructure
+from repro.ltl import specs
+from repro.mc import make_checker
+from repro.net.config import Configuration
+from repro.net.fields import TrafficClass
+from repro.synthesis import order_update
+from repro.topo import mini_datacenter
+
+TC = TrafficClass.make("f13", src="H1", dst="H3")
+RED = ["H1", "T1", "A1", "C1", "A3", "T3", "H3"]
+GREEN = ["H1", "T1", "A1", "C2", "A3", "T3", "H3"]
+BLUE = ["H1", "T1", "A2", "C1", "A4", "T3", "H3"]
+
+
+def verdict(path, spec):
+    topo = mini_datacenter()
+    config = Configuration.from_paths(topo, {TC: path})
+    ks = KripkeStructure(topo, config, {TC: ["H1"]})
+    return make_checker("incremental", ks, spec).full_check().ok
+
+
+class TestGuards:
+    def test_guard_makes_other_classes_vacuous(self):
+        other = TrafficClass.make("f24", src="H2", dst="H4")
+        spec = specs.reachability(other, "H4")
+        # the f13 trace satisfies f24's spec vacuously
+        assert verdict(RED, spec)
+
+    def test_unguarded_blackhole_freedom_applies_to_all(self):
+        spec = specs.blackhole_freedom()  # no class guard
+        assert verdict(RED, spec)
+
+
+class TestOnPathAndConsistency:
+    def test_on_path_holds_for_exact_path(self):
+        spec = specs.on_path(TC, ["T1", "A1", "C1", "A3", "T3"], "H3")
+        assert verdict(RED, spec)
+
+    def test_on_path_fails_for_other_path(self):
+        spec = specs.on_path(TC, ["T1", "A1", "C2", "A3", "T3"], "H3")
+        assert not verdict(RED, spec)
+
+    def test_consistency_accepts_both_endpoints(self):
+        spec = specs.path_consistency(
+            TC, RED[1:-1], BLUE[1:-1], "H3"
+        )
+        assert verdict(RED, spec)
+        assert verdict(BLUE, spec)
+
+    def test_consistency_rejects_mixed_path(self):
+        mixed = ["H1", "T1", "A2", "C1", "A3", "T3", "H3"]
+        spec = specs.path_consistency(TC, RED[1:-1], BLUE[1:-1], "H3")
+        assert not verdict(mixed, spec)
+
+    def test_red_to_blue_consistency_is_unsynthesizable(self):
+        """The paper's §2 argument, via the library spec: no switch order
+        moves red to blue while every packet stays on one of the two paths."""
+        topo = mini_datacenter()
+        init = Configuration.from_paths(topo, {TC: RED})
+        final = Configuration.from_paths(topo, {TC: BLUE})
+        spec = specs.path_consistency(TC, RED[1:-1], BLUE[1:-1], "H3")
+        with pytest.raises(UpdateInfeasibleError):
+            order_update(topo, init, final, {TC: ["H1"]}, spec)
+
+    def test_red_to_green_is_consistently_orderable(self):
+        """red -> green *does* admit a consistent ordering (C2 first)."""
+        topo = mini_datacenter()
+        init = Configuration.from_paths(topo, {TC: RED})
+        final = Configuration.from_paths(topo, {TC: GREEN})
+        spec = specs.path_consistency(TC, RED[1:-1], GREEN[1:-1], "H3")
+        plan = order_update(topo, init, final, {TC: ["H1"]}, spec)
+        order = [c.switch for c in plan.updates()]
+        assert order.index("C2") < order.index("A1")
+
+
+class TestCombinators:
+    def test_all_of_conjunction(self):
+        spec = specs.all_of(
+            [specs.reachability(TC, "H3"), specs.waypoint(TC, "C1", "H3")]
+        )
+        assert verdict(RED, spec)
+        assert not verdict(GREEN, spec)  # green avoids C1
+
+    def test_any_of_disjunction(self):
+        spec = specs.any_of(
+            [specs.waypoint(TC, "C1", "H3"), specs.waypoint(TC, "C2", "H3")]
+        )
+        assert verdict(RED, spec)
+        assert verdict(GREEN, spec)
+
+    def test_waypoint_choice(self):
+        spec = specs.waypoint_choice(TC, ["A1", "A2"], "H3")
+        assert verdict(RED, spec)
+        assert verdict(BLUE, spec)

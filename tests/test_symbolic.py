@@ -1,0 +1,104 @@
+"""Tests for the symbolic (BDD) checker: agreement with the other backends."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kripke.structure import KripkeStructure
+from repro.ltl import specs
+from repro.ltl.atoms import At, Dropped
+from repro.ltl.semantics import evaluate
+from repro.ltl.syntax import (
+    And,
+    FALSE,
+    Next,
+    NotProp,
+    Or,
+    Prop,
+    Release,
+    TRUE,
+    Until,
+)
+from repro.mc import BatchChecker, make_checker
+from repro.mc.symbolic import SymbolicChecker
+from repro.net.config import Configuration
+from repro.net.fields import TrafficClass
+from repro.synthesis import order_update
+from repro.topo import mini_datacenter, ring_diamond
+
+TC = TrafficClass.make("f13", src="H1", dst="H3")
+RED = ["H1", "T1", "A1", "C1", "A3", "T3", "H3"]
+GREEN = ["H1", "T1", "A1", "C2", "A3", "T3", "H3"]
+BLUE = ["H1", "T1", "A2", "C1", "A4", "T3", "H3"]
+
+
+def structure(path=RED):
+    topo = mini_datacenter()
+    config = Configuration.from_paths(topo, {TC: path})
+    return KripkeStructure(topo, config, {TC: ["H1"]})
+
+
+class TestVerdicts:
+    @pytest.mark.parametrize(
+        "spec_factory,expected",
+        [
+            (lambda: specs.reachability(TC, "H3"), True),
+            (lambda: specs.reachability(TC, "H4"), False),
+            (lambda: specs.waypoint(TC, "C1", "H3"), True),
+            (lambda: specs.waypoint(TC, "C2", "H3"), False),
+            (lambda: specs.isolation(TC, "C2"), True),
+            (lambda: specs.isolation(TC, "C1"), False),
+            (lambda: specs.blackhole_freedom(TC), True),
+            (lambda: specs.service_chain(TC, ["A1", "C1", "A3"], "H3"), True),
+            (lambda: specs.service_chain(TC, ["C1", "A1"], "H3"), False),
+        ],
+    )
+    def test_known_properties(self, spec_factory, expected):
+        checker = SymbolicChecker(structure(), spec_factory())
+        assert checker.full_check().ok == expected
+
+    def test_counterexample_violates_spec(self):
+        topo = mini_datacenter()
+        ks = KripkeStructure(topo, Configuration.empty(), {TC: ["H1"]})
+        spec = specs.reachability(TC, "H3")
+        result = SymbolicChecker(ks, spec).full_check()
+        assert not result.ok
+        assert result.counterexample
+        assert not evaluate(spec, result.counterexample)
+
+    def test_make_checker_aliases(self):
+        ks = structure()
+        assert make_checker("symbolic", ks, TRUE).name == "symbolic"
+        assert make_checker("nusmv", ks, TRUE).name == "symbolic"
+
+    def test_synthesis_with_symbolic_backend(self):
+        sc = ring_diamond(10, seed=1)
+        plan = order_update(
+            sc.topology, sc.init, sc.final, sc.ingresses, sc.spec, checker="symbolic"
+        )
+        assert plan.num_updates() > 0
+
+
+# property-based agreement with the batch labeling checker ---------------
+ATOMS = [At("T1"), At("A1"), At("C1"), At("C2"), At("A3"), At("T3"), At("H3"), Dropped()]
+
+
+@st.composite
+def nnf_formulas(draw, depth=2):
+    if depth == 0:
+        atom = draw(st.sampled_from(ATOMS))
+        return draw(st.sampled_from([Prop(atom), NotProp(atom), TRUE, FALSE]))
+    kind = draw(st.sampled_from(["leaf", "and", "or", "next", "until", "release"]))
+    if kind == "leaf":
+        return draw(nnf_formulas(depth=0))
+    if kind == "next":
+        return Next(draw(nnf_formulas(depth=depth - 1)))
+    left = draw(nnf_formulas(depth=depth - 1))
+    right = draw(nnf_formulas(depth=depth - 1))
+    return {"and": And, "or": Or, "until": Until, "release": Release}[kind](left, right)
+
+
+@given(spec=nnf_formulas(), path=st.sampled_from([RED, GREEN, BLUE]))
+@settings(max_examples=60, deadline=None)
+def test_symbolic_agrees_with_batch(spec, path):
+    expected = BatchChecker(structure(path), spec).full_check().ok
+    assert SymbolicChecker(structure(path), spec).full_check().ok == expected

@@ -1,0 +1,118 @@
+"""Tests for the wait-removal heuristic (§4.2.C)."""
+
+import pytest
+
+from repro.ltl import specs
+from repro.net.commands import SwitchUpdate, Wait
+from repro.net.config import Configuration
+from repro.net.fields import TrafficClass
+from repro.synthesis import order_update, remove_waits
+from repro.synthesis.plan import UpdatePlan
+from repro.synthesis.waits import _class_edges, _reaches
+from repro.topo import chained_diamond, mini_datacenter, ring_diamond
+
+TC = TrafficClass.make("f13", src="H1", dst="H3")
+RED = ["H1", "T1", "A1", "C1", "A3", "T3", "H3"]
+GREEN = ["H1", "T1", "A1", "C2", "A3", "T3", "H3"]
+BLUE = ["H1", "T1", "A2", "C1", "A4", "T3", "H3"]
+
+
+class TestEdgesAndReachability:
+    def test_forwarding_edges_follow_config(self):
+        topo = mini_datacenter()
+        config = Configuration.from_paths(topo, {TC: RED})
+        edges = _class_edges(topo, config, None)
+        assert ("T1", "A1") in edges
+        assert ("A1", "C1") in edges
+        assert ("T3", "A1") not in edges  # T3 forwards to H3 (a host)
+
+    def test_reaches_transitive(self):
+        edges = {("a", "b"), ("b", "c")}
+        assert _reaches(edges, "a", "c")
+        assert not _reaches(edges, "c", "a")
+
+    def test_reaches_requires_a_hop(self):
+        assert not _reaches(set(), "a", "a")
+
+
+class TestRemoveWaits:
+    def test_disjoint_updates_need_no_wait(self):
+        """C2 is unreachable before A1 flips: the wait between them drops."""
+        topo = mini_datacenter()
+        init = Configuration.from_paths(topo, {TC: RED})
+        final = Configuration.from_paths(topo, {TC: GREEN})
+        plan = UpdatePlan(
+            [
+                SwitchUpdate("C2", final.table("C2")),
+                Wait(),
+                SwitchUpdate("A1", final.table("A1")),
+            ]
+        )
+        slim = remove_waits(topo, init, plan)
+        assert slim.num_waits() == 0
+        assert slim.stats.waits_before_removal == 1
+        assert slim.stats.waits_after_removal == 0
+
+    def test_wait_kept_when_packets_could_chase_update(self):
+        """T1 forwards into A2 before flipping; A2->C1 path reaches C1, so a
+        wait must survive before C1's update (the paper's red->blue case)."""
+        topo = mini_datacenter()
+        init = Configuration.from_paths(topo, {TC: RED})
+        final = Configuration.from_paths(topo, {TC: BLUE})
+        plan = UpdatePlan(
+            [
+                SwitchUpdate("A2", final.table("A2")),
+                Wait(),
+                SwitchUpdate("A4", final.table("A4")),
+                Wait(),
+                SwitchUpdate("T1", final.table("T1")),
+                Wait(),
+                SwitchUpdate("C1", final.table("C1")),
+            ]
+        )
+        slim = remove_waits(topo, init, plan)
+        updates = [c.switch for c in slim.updates()]
+        commands = list(slim.commands)
+        # find what precedes C1's update
+        c1_index = next(
+            i for i, c in enumerate(commands)
+            if isinstance(c, SwitchUpdate) and c.switch == "C1"
+        )
+        assert isinstance(commands[c1_index - 1], Wait)
+        # but the A2 -> A4 wait is gone (both unreachable)
+        a4_index = next(
+            i for i, c in enumerate(commands)
+            if isinstance(c, SwitchUpdate) and c.switch == "A4"
+        )
+        assert not isinstance(commands[a4_index - 1], Wait)
+
+    def test_update_order_is_preserved(self):
+        topo = mini_datacenter()
+        init = Configuration.from_paths(topo, {TC: RED})
+        final = Configuration.from_paths(topo, {TC: GREEN})
+        plan = order_update(topo, init, final, {TC: ["H1"]}, specs.reachability(TC, "H3"))
+        slim = remove_waits(topo, init, plan)
+        assert [c.switch for c in slim.updates()] == [c.switch for c in plan.updates()]
+
+    def test_ring_diamond_removes_most_waits(self):
+        sc = ring_diamond(30, seed=4)
+        plan = order_update(sc.topology, sc.init, sc.final, sc.ingresses, sc.spec)
+        slim = remove_waits(sc.topology, sc.init, plan)
+        removed = slim.stats.waits_before_removal - slim.stats.waits_after_removal
+        assert slim.stats.waits_before_removal >= 25
+        # the paper reports ~99.9% removal; we require the vast majority
+        assert removed / max(1, slim.stats.waits_before_removal) > 0.85
+        assert slim.stats.waits_after_removal <= 4
+
+    def test_chained_diamond_waits(self):
+        sc = chained_diamond(3, 3, prop="chain")
+        plan = order_update(sc.topology, sc.init, sc.final, sc.ingresses, sc.spec)
+        slim = remove_waits(sc.topology, sc.init, plan)
+        assert slim.stats.waits_after_removal <= slim.stats.waits_before_removal
+
+    def test_empty_plan(self):
+        topo = mini_datacenter()
+        init = Configuration.from_paths(topo, {TC: RED})
+        slim = remove_waits(topo, init, UpdatePlan([]))
+        assert slim.num_updates() == 0
+        assert slim.num_waits() == 0

@@ -10,6 +10,21 @@ from the scenario sweep inside each driver rather than from re-running it.
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink benchmark workloads so the suite finishes in seconds (CI)",
+    )
+
+
+@pytest.fixture
+def quick(request):
+    """True when ``--quick`` was passed: benchmarks should scale down."""
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture
 def once(benchmark):
     """Run the benchmarked callable exactly once per measurement."""

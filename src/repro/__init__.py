@@ -48,9 +48,18 @@ from repro.net import (
     Wait,
     path_rules,
 )
+from repro.service import (
+    JobResult,
+    JobStatus,
+    PlanCache,
+    SynthesisJob,
+    SynthesisOptions,
+    SynthesisService,
+    problem_fingerprint,
+)
 from repro.synthesis import UpdatePlan, UpdateSynthesizer, order_update, remove_waits
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -85,4 +94,12 @@ __all__ = [
     "UpdatePlan",
     "order_update",
     "remove_waits",
+    # service
+    "SynthesisService",
+    "SynthesisOptions",
+    "SynthesisJob",
+    "JobResult",
+    "JobStatus",
+    "PlanCache",
+    "problem_fingerprint",
 ]

@@ -14,6 +14,25 @@ Subcommands:
   (``fig2a``, ``fig2b``, ``fig7-zoo``, ``fig7-fattree``, ``fig7-smallworld``,
   ``fig7-netplumber``, ``fig8g``, ``fig8h``, ``fig8i``, ``ablations``) and
   print its table.
+* ``batch PROBLEMS.jsonl`` — run many problems through the
+  :mod:`repro.service` batch engine (worker pool + content-addressed plan
+  cache) and stream one JSON result object per line to stdout.  Each input
+  line is a problem document (the ``synthesize`` format), optionally with
+  extra ``"id"`` and ``"timeout"`` keys.
+* ``cache-stats DIR`` — summarize an on-disk plan cache directory
+  (entry count, bytes, cumulative hit/miss counters).
+
+Exit status codes:
+
+* ``0`` — success (for ``batch``: every job settled without an ``error``
+  status; individual ``infeasible``/``timeout`` verdicts are *results*, not
+  failures, and are reported in the output stream);
+* ``1`` — generic failure (library error, violation found by ``check``,
+  some ``batch`` job errored);
+* ``2`` — the synthesis problem is infeasible (``synthesize``);
+* ``3`` — synthesis exceeded its time budget (``synthesize``);
+* ``4`` — input could not be parsed (bad problem file, LTL syntax error,
+  malformed JSONL line).
 """
 
 from __future__ import annotations
@@ -23,7 +42,12 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.errors import ReproError, SynthesisTimeout, UpdateInfeasibleError
+from repro.errors import (
+    ParseError,
+    ReproError,
+    SynthesisTimeout,
+    UpdateInfeasibleError,
+)
 from repro.kripke.structure import KripkeStructure
 from repro.ltl import specs
 from repro.mc.interface import make_checker
@@ -33,10 +57,20 @@ from repro.net.serialize import (
     Problem,
     load_problem,
     plan_to_dict,
+    problem_from_dict,
     problem_to_dict,
 )
 from repro.synthesis import UpdateSynthesizer
 from repro.topo import double_diamond, mini_datacenter
+
+#: CLI exit codes (documented in the module docstring).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_INFEASIBLE = 2
+EXIT_TIMEOUT = 3
+EXIT_PARSE_ERROR = 4
+
+CHECKERS = ["incremental", "batch", "automaton", "symbolic", "nusmv", "netplumber"]
 
 
 def _demo_problem(name: str) -> Problem:
@@ -103,10 +137,10 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         )
     except UpdateInfeasibleError as err:
         print(f"INFEASIBLE ({err.reason}): {err}")
-        return 2
+        return EXIT_INFEASIBLE
     except SynthesisTimeout as err:
         print(f"TIMEOUT: {err}")
-        return 3
+        return EXIT_TIMEOUT
     if args.json:
         json.dump(plan_to_dict(plan), sys.stdout, indent=2)
         sys.stdout.write("\n")
@@ -241,6 +275,92 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _portfolio_arg(value: str):
+    """argparse type for ``--portfolio``: comma-separated checker backends."""
+    backends = tuple(entry.strip() for entry in value.split(",") if entry.strip())
+    if not backends:
+        raise argparse.ArgumentTypeError("expected at least one backend name")
+    for backend in backends:
+        if backend not in CHECKERS:
+            raise argparse.ArgumentTypeError(
+                f"unknown backend {backend!r} (choose from {', '.join(CHECKERS)})"
+            )
+    return backends
+
+
+def _load_batch_jobs(path: str):
+    """Parse a JSONL problems file into (job_id, timeout, Problem) triples."""
+    jobs = []
+    handle = sys.stdin if path == "-" else open(path)
+    try:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise ParseError(f"{path}:{lineno}: bad JSON: {err}") from err
+            if not isinstance(data, dict):
+                raise ParseError(f"{path}:{lineno}: expected a JSON object")
+            job_id = str(data.get("id", f"job-{lineno}"))
+            timeout = data.get("timeout")
+            if timeout is not None:
+                if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+                    raise ParseError(
+                        f"{path}:{lineno}: 'timeout' must be a number, "
+                        f"got {timeout!r}"
+                    )
+                timeout = float(timeout)
+            try:
+                problem = problem_from_dict(data)
+            except (ReproError, KeyError, TypeError, ValueError) as err:
+                raise ParseError(f"{path}:{lineno}: bad problem: {err}") from err
+            jobs.append((job_id, timeout, problem))
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    return jobs
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service import SynthesisOptions, SynthesisService
+
+    jobs = _load_batch_jobs(args.problems)
+    options = SynthesisOptions(
+        checker=args.checker,
+        granularity=args.granularity,
+        timeout=args.timeout,
+        portfolio=args.portfolio or (),
+    )
+    service = SynthesisService(
+        workers=0 if args.serial else args.workers,
+        cache_dir=args.cache_dir,
+        default_options=options,
+    )
+    for job_id, timeout, problem in jobs:
+        service.submit(problem, job_id=job_id, timeout=timeout)
+    errored = False
+    for result in service.stream():
+        errored = errored or result.status.value == "error"
+        json.dump(result.to_dict(include_plan=not args.no_plans), sys.stdout)
+        sys.stdout.write("\n")
+        sys.stdout.flush()
+    service.cache.persist_stats()
+    if args.stats:
+        json.dump(service.metrics_dict(), sys.stderr, indent=2)
+        sys.stderr.write("\n")
+    return EXIT_FAILURE if errored else EXIT_OK
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    from repro.service import disk_cache_summary
+
+    json.dump(disk_cache_summary(args.directory), sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -250,8 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_synth = sub.add_parser("synthesize", help="synthesize an update plan")
     p_synth.add_argument("problem", help="path to a problem JSON file")
-    p_synth.add_argument("--checker", default="incremental",
-                         choices=["incremental", "batch", "automaton", "symbolic", "nusmv", "netplumber"])
+    p_synth.add_argument("--checker", default="incremental", choices=CHECKERS)
     p_synth.add_argument("--granularity", default="switch", choices=["switch", "rule"])
     p_synth.add_argument("--keep-waits", action="store_true",
                          help="skip the wait-removal post-pass")
@@ -263,9 +382,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("problem")
     p_check.add_argument("--final", action="store_true",
                          help="check the final instead of the initial configuration")
-    p_check.add_argument("--checker", default="incremental",
-                         choices=["incremental", "batch", "automaton", "symbolic", "nusmv", "netplumber"])
+    p_check.add_argument("--checker", default="incremental", choices=CHECKERS)
     p_check.set_defaults(fn=_cmd_check)
+
+    p_batch = sub.add_parser(
+        "batch", help="run a JSONL file of problems through the batch service"
+    )
+    p_batch.add_argument(
+        "problems", help="path to a JSONL problems file ('-' for stdin)"
+    )
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="worker pool size (default: one per core, capped at 8)")
+    p_batch.add_argument("--serial", action="store_true",
+                         help="run in-process instead of on the worker pool")
+    p_batch.add_argument("--checker", default="incremental", choices=CHECKERS)
+    p_batch.add_argument("--granularity", default="switch", choices=["switch", "rule"])
+    p_batch.add_argument("--timeout", type=float, default=None,
+                         help="default per-job timeout in seconds")
+    p_batch.add_argument("--portfolio", default=None, metavar="B1,B2",
+                         type=_portfolio_arg,
+                         help="race these comma-separated checker backends per job")
+    p_batch.add_argument("--cache-dir", default=None,
+                         help="persist the plan cache to this directory")
+    p_batch.add_argument("--no-plans", action="store_true",
+                         help="omit plan bodies from the output stream")
+    p_batch.add_argument("--stats", action="store_true",
+                         help="print service metrics to stderr when done")
+    p_batch.set_defaults(fn=_cmd_batch)
+
+    p_cache = sub.add_parser(
+        "cache-stats", help="summarize an on-disk plan cache directory"
+    )
+    p_cache.add_argument("directory", help="cache directory (see batch --cache-dir)")
+    p_cache.set_defaults(fn=_cmd_cache_stats)
 
     p_demo = sub.add_parser("demo", help="emit a ready-made problem file")
     p_demo.add_argument("name", help="fig1-green | fig1-blue | double-diamond")
@@ -282,9 +431,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. `... | head`); exit quietly like a good filter
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return EXIT_OK
+    except ParseError as err:
+        print(f"parse error: {err}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
+    except UpdateInfeasibleError as err:
+        print(f"infeasible: {err}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+    except SynthesisTimeout as err:
+        print(f"timeout: {err}", file=sys.stderr)
+        return EXIT_TIMEOUT
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -183,7 +183,16 @@ def problem_from_dict(data: Mapping[str, Any]) -> Problem:
 
 def load_problem(path: str) -> Problem:
     with open(path) as handle:
-        return problem_from_dict(json.load(handle))
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as err:
+            raise ParseError(f"{path}: bad JSON: {err}") from err
+    try:
+        return problem_from_dict(data)
+    except ParseError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as err:
+        raise ParseError(f"{path}: bad problem document: {err!r}") from err
 
 
 def save_problem(problem: Problem, path: str) -> None:
@@ -226,3 +235,45 @@ def plan_to_dict(plan: UpdatePlan) -> Dict[str, Any]:
             "synthesis_seconds": plan.stats.synthesis_seconds,
         },
     }
+
+
+def command_from_dict(
+    data: Mapping[str, Any],
+    classes: Optional[Mapping[str, TrafficClass]] = None,
+) -> Command:
+    """Inverse of :func:`command_to_dict`.
+
+    ``classes`` maps traffic-class names to :class:`TrafficClass` objects for
+    rehydrating rule-granularity commands; unknown names fall back to a
+    field-less class of the same name.
+    """
+    op = data.get("op")
+    if op == "wait":
+        return Wait()
+    if op in ("update", "update-class"):
+        table = Table(rule_from_dict(r) for r in data.get("table", []))
+        switch = str(data["switch"])
+        if op == "update":
+            return SwitchUpdate(switch, table)
+        name = str(data["class"])
+        tc = (classes or {}).get(name, TrafficClass(name))
+        return RuleGranUpdate(switch, tc, table)
+    raise ParseError(f"bad command entry {dict(data)!r}")
+
+
+def plan_from_dict(
+    data: Mapping[str, Any],
+    classes: Optional[Mapping[str, TrafficClass]] = None,
+) -> UpdatePlan:
+    """Inverse of :func:`plan_to_dict` (used by the service plan cache)."""
+    plan = UpdatePlan(
+        [command_from_dict(c, classes) for c in data.get("commands", [])],
+        granularity=str(data.get("granularity", "switch")),
+    )
+    stats = data.get("stats", {})
+    plan.stats.model_checks = int(stats.get("model_checks", 0))
+    plan.stats.counterexamples = int(stats.get("counterexamples", 0))
+    plan.stats.waits_before_removal = int(stats.get("waits_before_removal", 0))
+    plan.stats.waits_after_removal = int(stats.get("waits_after_removal", 0))
+    plan.stats.synthesis_seconds = float(stats.get("synthesis_seconds", 0.0))
+    return plan

@@ -1,0 +1,56 @@
+"""Batch synthesis service: job queue, worker pool, content-addressed cache.
+
+This subsystem turns the one-shot :class:`~repro.synthesis.UpdateSynthesizer`
+into a throughput engine for serving many update-synthesis requests:
+
+* :mod:`repro.service.fingerprint` — canonical, order-insensitive content
+  hashing of synthesis problems;
+* :mod:`repro.service.cache` — in-memory LRU + optional on-disk plan cache
+  keyed by fingerprint;
+* :mod:`repro.service.jobs` — job/result dataclasses and the job lifecycle;
+* :mod:`repro.service.engine` — the :class:`SynthesisService` scheduler
+  (cache-first, multiprocessing pool with serial fallback, portfolio mode);
+* :mod:`repro.service.metrics` — throughput/latency/cache-rate counters.
+
+Quickstart::
+
+    from repro.service import SynthesisService, SynthesisOptions
+
+    service = SynthesisService(workers=4, cache_dir=".plan-cache")
+    service.submit_many(problems, options=SynthesisOptions(timeout=30.0))
+    for result in service.stream():
+        print(result.job_id, result.status.value, result.cached)
+    print(service.metrics_dict())
+
+The ``python -m repro batch`` subcommand is a thin CLI wrapper around this
+package.
+"""
+
+from repro.service.cache import CacheStats, PlanCache, disk_cache_summary
+from repro.service.engine import SynthesisService, default_worker_count
+from repro.service.fingerprint import (
+    canonical_problem,
+    problem_fingerprint,
+)
+from repro.service.jobs import (
+    JobResult,
+    JobStatus,
+    SynthesisJob,
+    SynthesisOptions,
+)
+from repro.service.metrics import ServiceMetrics
+
+__all__ = [
+    "CacheStats",
+    "JobResult",
+    "JobStatus",
+    "PlanCache",
+    "ServiceMetrics",
+    "SynthesisJob",
+    "SynthesisOptions",
+    "SynthesisService",
+    "canonical_problem",
+    "default_worker_count",
+    "disk_cache_summary",
+    "problem_fingerprint",
+]

@@ -1,0 +1,229 @@
+"""Content-addressed plan cache: in-memory LRU with optional disk tier.
+
+The cache stores *successful* plans keyed by the problem fingerprint
+(:mod:`repro.service.fingerprint`).  Entries are held as JSON-safe plan
+dicts (the :func:`~repro.net.serialize.plan_to_dict` form) so the memory
+and disk tiers share one representation and cached plans never alias live
+:class:`~repro.synthesis.plan.UpdatePlan` objects across jobs.
+
+With a ``directory``, every stored plan is also written to
+``<directory>/<fingerprint>.json``; lookups that miss in memory fall back
+to disk (and promote the entry back into memory).  ``persist_stats`` dumps
+the cumulative counters to ``<directory>/stats.json`` for the
+``cache-stats`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.net.fields import TrafficClass
+from repro.net.serialize import plan_from_dict, plan_to_dict
+from repro.synthesis.plan import UpdatePlan
+
+STATS_FILENAME = "stats.json"
+
+
+@dataclass
+class CacheStats:
+    """Cumulative hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "puts": self.puts,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class PlanCache:
+    """LRU plan cache keyed by content fingerprint.
+
+    Args:
+        capacity: maximum number of in-memory entries; least-recently-used
+            entries are evicted beyond it (they survive on disk when a
+            ``directory`` is configured).
+        directory: optional on-disk tier; created on first use.
+    """
+
+    def __init__(self, capacity: int = 1024, directory: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.directory = directory
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        """Number of *in-memory* entries (the disk tier may hold more)."""
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        """Membership in the *in-memory* tier only.
+
+        A ``False`` here does not mean :meth:`get` will miss — the entry may
+        still be served (and promoted) from the disk tier.  Use :meth:`get`
+        to answer "is a plan available".
+        """
+        return fingerprint in self._entries
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        fingerprint: str,
+        classes: Optional[Mapping[str, TrafficClass]] = None,
+    ) -> Optional[UpdatePlan]:
+        """The cached plan for ``fingerprint``, or ``None`` on a miss.
+
+        ``classes`` rehydrates rule-granularity commands (pass the problem's
+        traffic classes by name).  Returns a fresh :class:`UpdatePlan` on
+        every hit.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is None and self.directory is not None:
+            entry = self._read_disk(fingerprint)
+            if entry is not None:
+                self.stats.disk_hits += 1
+                self._insert(fingerprint, entry)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.stats.hits += 1
+        return plan_from_dict(entry, classes)
+
+    def put(self, fingerprint: str, plan: UpdatePlan) -> None:
+        """Store ``plan`` under ``fingerprint`` (memory, and disk if configured)."""
+        entry = plan_to_dict(plan)
+        self._insert(fingerprint, entry)
+        self.stats.puts += 1
+        if self.directory is not None:
+            self._write_disk(fingerprint, entry)
+
+    def clear(self) -> None:
+        """Drop all in-memory entries (the disk tier is left untouched)."""
+        self._entries.clear()
+
+    def _insert(self, fingerprint: str, entry: Dict[str, Any]) -> None:
+        self._entries[fingerprint] = entry
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # disk tier
+    # ------------------------------------------------------------------
+    def _path(self, fingerprint: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"{fingerprint}.json")
+
+    def _read_disk(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._path(fingerprint)) as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _write_disk(self, fingerprint: str, entry: Dict[str, Any]) -> None:
+        assert self.directory is not None
+        os.makedirs(self.directory, exist_ok=True)
+        tmp = self._path(fingerprint) + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(entry, handle)
+        os.replace(tmp, self._path(fingerprint))
+
+    def persist_stats(self) -> None:
+        """Merge this instance's counters into ``<directory>/stats.json``.
+
+        The read-modify-write is serialized across processes with an
+        advisory ``flock`` on a sidecar lock file (best-effort on platforms
+        without ``fcntl``), so concurrent batch runs sharing a cache
+        directory don't lose each other's increments.
+        """
+        if self.directory is None:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(self.directory, STATS_FILENAME)
+        lock_handle = None
+        try:
+            import fcntl
+
+            lock_handle = open(path + ".lock", "w")
+            fcntl.flock(lock_handle, fcntl.LOCK_EX)
+        except (ImportError, OSError):
+            lock_handle = None
+        try:
+            merged = dict.fromkeys(
+                ("hits", "misses", "evictions", "disk_hits", "puts"), 0
+            )
+            try:
+                with open(path) as handle:
+                    for key, value in json.load(handle).items():
+                        if key in merged:
+                            merged[key] = int(value)
+            except (OSError, json.JSONDecodeError, ValueError):
+                pass
+            for key in merged:
+                merged[key] += getattr(self.stats, key)
+            tmp = path + ".tmp"
+            with open(tmp, "w") as handle:
+                json.dump(merged, handle, indent=2)
+                handle.write("\n")
+            os.replace(tmp, path)
+        finally:
+            if lock_handle is not None:
+                lock_handle.close()
+
+
+def disk_cache_summary(directory: str) -> Dict[str, Any]:
+    """Summarize an on-disk cache directory for the ``cache-stats`` command."""
+    entries = 0
+    total_bytes = 0
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        names = []
+    for name in names:
+        if name == STATS_FILENAME or not name.endswith(".json"):
+            continue
+        entries += 1
+        try:
+            total_bytes += os.path.getsize(os.path.join(directory, name))
+        except OSError:
+            pass
+    out: Dict[str, Any] = {
+        "directory": directory,
+        "entries": entries,
+        "total_bytes": total_bytes,
+    }
+    stats_path = os.path.join(directory, STATS_FILENAME)
+    try:
+        with open(stats_path) as handle:
+            out["counters"] = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        pass
+    return out

@@ -1,0 +1,395 @@
+"""The batch synthesis service: cache-first scheduling over a worker pool.
+
+:class:`SynthesisService` turns the one-shot
+:class:`~repro.synthesis.UpdateSynthesizer` into a throughput engine.  Jobs
+flow through three stages:
+
+1. **fingerprint** — every submitted problem is content-hashed
+   (:mod:`repro.service.fingerprint`); identical problems submitted twice in
+   one batch are *coalesced* onto a single execution;
+2. **cache** — the :class:`~repro.service.cache.PlanCache` is consulted
+   first, so re-submitted problems are answered without synthesis;
+3. **pool** — cache misses are executed on a ``multiprocessing`` worker pool
+   (:class:`concurrent.futures.ProcessPoolExecutor`), falling back to
+   in-process serial execution when ``workers <= 1`` or process spawning is
+   unavailable.  In *portfolio* mode each job races several checker
+   backends and the first definitive verdict (a plan, or a proof of
+   infeasibility) wins.
+
+Workers exchange JSON-safe dicts (problems via
+:func:`~repro.net.serialize.problem_to_dict`, plans via
+:func:`~repro.net.serialize.plan_to_dict`), so nothing fancier than
+built-in types ever crosses a process boundary.  Per-job timeouts are
+enforced cooperatively by the synthesizer's own deadline checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SynthesisTimeout, UpdateInfeasibleError
+from repro.net.fields import TrafficClass
+from repro.net.serialize import (
+    Problem,
+    plan_from_dict,
+    problem_from_dict,
+    problem_to_dict,
+)
+from repro.service.cache import PlanCache
+from repro.service.jobs import JobResult, JobStatus, SynthesisJob, SynthesisOptions
+from repro.service.metrics import ServiceMetrics
+from repro.synthesis import UpdateSynthesizer
+
+#: Statuses that settle a fingerprint group in portfolio mode: a plan, or a
+#: proof that no plan exists.  ``timeout``/``error`` keep the race open.
+_DEFINITIVE = (JobStatus.DONE.value, JobStatus.INFEASIBLE.value)
+
+#: Jobs coalesce onto one execution only when both the problem fingerprint
+#: and the time budget agree (a "timeout" verdict is budget-specific).
+_GroupKey = Tuple[str, Optional[float]]
+
+
+def _execute_payload(
+    problem_data: Dict[str, Any], options_data: Dict[str, Any], backend: str
+) -> Dict[str, Any]:
+    """Run one synthesis attempt; always returns a JSON-safe result dict.
+
+    This is the worker-process entry point — it must stay module-level (for
+    pickling) and must never raise (errors become ``status="error"``).
+    """
+    from repro.net.serialize import plan_to_dict  # local: after fork/spawn
+
+    start = time.perf_counter()
+    try:
+        problem = problem_from_dict(problem_data)
+        synth = UpdateSynthesizer(
+            problem.topology,
+            checker=backend,
+            granularity=options_data.get("granularity", "switch"),
+            remove_waits=options_data.get("remove_waits", True),
+            use_counterexamples=options_data.get("use_counterexamples", True),
+            use_early_termination=options_data.get("use_early_termination", True),
+            use_reachability_heuristic=options_data.get(
+                "use_reachability_heuristic", True
+            ),
+        )
+        plan = synth.synthesize(
+            problem.init,
+            problem.final,
+            problem.spec,
+            problem.ingresses,
+            timeout=options_data.get("timeout"),
+        )
+    except UpdateInfeasibleError as err:
+        return {
+            "status": JobStatus.INFEASIBLE.value,
+            "message": f"({err.reason}) {err}",
+            "seconds": time.perf_counter() - start,
+            "backend": backend,
+        }
+    except SynthesisTimeout as err:
+        return {
+            "status": JobStatus.TIMEOUT.value,
+            "message": str(err),
+            "seconds": time.perf_counter() - start,
+            "backend": backend,
+        }
+    except Exception as err:  # noqa: BLE001 — must cross the process boundary
+        return {
+            "status": JobStatus.ERROR.value,
+            "message": f"{type(err).__name__}: {err}",
+            "seconds": time.perf_counter() - start,
+            "backend": backend,
+        }
+    return {
+        "status": JobStatus.DONE.value,
+        "plan": plan_to_dict(plan),
+        "seconds": time.perf_counter() - start,
+        "backend": backend,
+    }
+
+
+def _best_failure(results: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Pick the most informative failure when no backend was definitive."""
+    for status in (JobStatus.TIMEOUT.value, JobStatus.ERROR.value):
+        for res in results:
+            if res["status"] == status:
+                return res
+    return results[-1]
+
+
+def default_worker_count() -> int:
+    """Pool size when none is given: usable cores, capped at 8.
+
+    On a single-core machine this returns 1, which selects the in-process
+    serial path — a pool cannot beat serial execution there.
+    """
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        cores = os.cpu_count() or 1
+    return max(1, min(8, cores))
+
+
+class SynthesisService:
+    """Schedules synthesis jobs across a cache and a worker pool.
+
+    Args:
+        workers: pool size; ``0``/``1`` selects in-process serial execution,
+            ``None`` picks :func:`default_worker_count`.
+        cache: a :class:`PlanCache` to share between services, or ``None`` to
+            create one (``cache_dir``/``cache_capacity`` configure it).
+        default_options: :class:`SynthesisOptions` applied to ``submit``
+            calls that don't bring their own.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        cache: Optional[PlanCache] = None,
+        cache_dir: Optional[str] = None,
+        cache_capacity: int = 1024,
+        default_options: Optional[SynthesisOptions] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        self.workers = default_worker_count() if workers is None else max(0, workers)
+        self.cache = cache or PlanCache(cache_capacity, cache_dir)
+        self.default_options = default_options or SynthesisOptions()
+        self.metrics = metrics or ServiceMetrics()
+        self._pending: List[SynthesisJob] = []
+        self._last_order: List[str] = []
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        problem: Problem,
+        *,
+        options: Optional[SynthesisOptions] = None,
+        job_id: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> SynthesisJob:
+        """Queue one problem; returns the job handle (``run``/``stream`` executes)."""
+        opts = options or self.default_options
+        if timeout is not None:
+            opts = opts.with_timeout(timeout)
+        job = SynthesisJob(
+            job_id=job_id or f"job-{next(self._ids)}",
+            problem=problem,
+            options=opts,
+        )
+        self._pending.append(job)
+        self.metrics.submitted += 1
+        return job
+
+    def submit_many(
+        self, problems: Iterable[Problem], **kwargs: Any
+    ) -> List[SynthesisJob]:
+        return [self.submit(problem, **kwargs) for problem in problems]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> List[JobResult]:
+        """Execute all pending jobs and return their results (submission order)."""
+        results = {res.job_id: res for res in self.stream()}
+        return [results[job_id] for job_id in self._last_order]
+
+    def stream(self) -> Iterator[JobResult]:
+        """Execute all pending jobs, yielding each result as it settles.
+
+        Cache hits are yielded first (in submission order); misses follow in
+        completion order.
+        """
+        jobs, self._pending = self._pending, []
+        self._last_order = [job.job_id for job in jobs]
+        with self.metrics.time_batch():
+            # stage 1+2: fingerprint and consult the cache; group duplicates.
+            # The group key includes the timeout (the fingerprint deliberately
+            # does not): a non-definitive verdict like "timeout" only holds
+            # for jobs that ran under the same budget, so jobs with different
+            # budgets must not coalesce onto one execution.
+            groups: "Dict[Tuple[str, Optional[float]], List[SynthesisJob]]" = {}
+            for job in jobs:
+                classes = {tc.name: tc for tc in job.problem.classes}
+                plan = self.cache.get(job.fingerprint, classes)
+                if plan is not None:
+                    job.status = JobStatus.DONE
+                    result = JobResult(
+                        job_id=job.job_id,
+                        status=JobStatus.DONE,
+                        plan=plan,
+                        cached=True,
+                        fingerprint=job.fingerprint,
+                    )
+                    self.metrics.observe(result)
+                    yield result
+                else:
+                    groups.setdefault(
+                        (job.fingerprint, job.options.timeout), []
+                    ).append(job)
+
+            # stage 3: execute one representative per fingerprint group
+            if not groups:
+                return
+            tasks = sum(len(group[0].options.backends()) for group in groups.values())
+            runner = (
+                self._execute_serial
+                if self.workers <= 1 or tasks == 1
+                else self._execute_pool
+            )
+            for key, payload in runner(groups):
+                yield from self._settle_group(groups[key], payload)
+
+    def run_problems(
+        self, problems: Iterable[Problem], **kwargs: Any
+    ) -> List[JobResult]:
+        """Convenience: submit + run in one call."""
+        self.submit_many(problems, **kwargs)
+        return self.run()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Any]:
+        stats = self.cache.stats.as_dict()
+        stats["entries"] = len(self.cache)
+        return stats
+
+    def metrics_dict(self) -> Dict[str, Any]:
+        out = self.metrics.as_dict()
+        out["cache"] = self.cache_stats()
+        out["workers"] = self.workers
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _group_payloads(
+        job: SynthesisJob,
+    ) -> List[Tuple[str, Dict[str, Any], Dict[str, Any]]]:
+        """(backend, problem_dict, options_dict) per portfolio entry."""
+        problem_data = problem_to_dict(job.problem)
+        options_data = dict(job.options.identity_dict(), timeout=job.options.timeout)
+        return [
+            (backend, problem_data, options_data)
+            for backend in job.options.backends()
+        ]
+
+    def _execute_serial(
+        self, groups: "Dict[_GroupKey, List[SynthesisJob]]"
+    ) -> Iterator[Tuple["_GroupKey", Dict[str, Any]]]:
+        """In-process execution; portfolio backends tried in order."""
+        for key, group in groups.items():
+            group[0].status = JobStatus.RUNNING
+            attempts: List[Dict[str, Any]] = []
+            for backend, problem_data, options_data in self._group_payloads(group[0]):
+                res = _execute_payload(problem_data, options_data, backend)
+                attempts.append(res)
+                if res["status"] in _DEFINITIVE:
+                    break
+            yield key, (
+                attempts[-1]
+                if attempts[-1]["status"] in _DEFINITIVE
+                else _best_failure(attempts)
+            )
+
+    def _execute_pool(
+        self, groups: "Dict[_GroupKey, List[SynthesisJob]]"
+    ) -> Iterator[Tuple["_GroupKey", Dict[str, Any]]]:
+        """Worker-pool execution; portfolio backends race concurrently."""
+        try:
+            executor = ProcessPoolExecutor(max_workers=self.workers)
+        except (OSError, ValueError, PermissionError):
+            # restricted environments (no /dev/shm, seccomp...) — degrade
+            yield from self._execute_serial(groups)
+            return
+        pending: "Dict[Future, Tuple[_GroupKey, str]]" = {}
+        state: "Dict[_GroupKey, List[Dict[str, Any]]]" = {}
+        decided: "Dict[_GroupKey, bool]" = {}
+        with executor:
+            for key, group in groups.items():
+                group[0].status = JobStatus.RUNNING
+                state[key] = []
+                decided[key] = False
+                for backend, problem_data, options_data in self._group_payloads(
+                    group[0]
+                ):
+                    future = executor.submit(
+                        _execute_payload, problem_data, options_data, backend
+                    )
+                    pending[future] = (key, backend)
+            while pending:
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for future in done:
+                    key, backend = pending.pop(future)
+                    try:
+                        res = future.result()
+                    except Exception as err:  # noqa: BLE001 — broken pool etc.
+                        res = {
+                            "status": JobStatus.ERROR.value,
+                            "message": f"{type(err).__name__}: {err}",
+                            "seconds": 0.0,
+                            "backend": backend,
+                        }
+                    if decided[key]:
+                        continue  # a sibling backend already won the race
+                    attempts = state[key]
+                    attempts.append(res)
+                    outstanding = sum(
+                        1 for other_key, _ in pending.values() if other_key == key
+                    )
+                    if res["status"] in _DEFINITIVE:
+                        decided[key] = True
+                        for other in list(pending):
+                            if pending[other][0] == key:
+                                other.cancel()
+                                pending.pop(other, None)
+                        yield key, res
+                    elif outstanding == 0:
+                        decided[key] = True
+                        yield key, _best_failure(attempts)
+
+    def _settle_group(
+        self, group: List[SynthesisJob], payload: Dict[str, Any]
+    ) -> Iterator[JobResult]:
+        """Fan one execution result out to every job coalesced on it."""
+        status = JobStatus(payload["status"])
+        fingerprint = group[0].fingerprint
+        if status is JobStatus.DONE:
+            classes = {tc.name: tc for tc in group[0].problem.classes}
+            plan = plan_from_dict(payload["plan"], classes)
+            self.cache.put(fingerprint, plan)
+        for index, job in enumerate(group):
+            job.status = status
+            plan = None
+            if status is JobStatus.DONE:
+                classes = {tc.name: tc for tc in job.problem.classes}
+                plan = plan_from_dict(payload["plan"], classes)
+            message = payload.get("message", "")
+            if index > 0:
+                self.metrics.coalesced += 1
+                message = (
+                    f"coalesced with {group[0].job_id}"
+                    + (f": {message}" if message else "")
+                )
+            result = JobResult(
+                job_id=job.job_id,
+                status=status,
+                plan=plan,
+                seconds=payload.get("seconds", 0.0) if index == 0 else 0.0,
+                cached=False,
+                backend=payload.get("backend"),
+                message=message,
+                fingerprint=fingerprint,
+            )
+            self.metrics.observe(result)
+            yield result

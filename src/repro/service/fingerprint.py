@@ -1,0 +1,107 @@
+"""Content-addressed fingerprints for synthesis problems.
+
+The batch service memoizes plans by *content*, not by file path or object
+identity: two problems that denote the same network, configurations,
+specification, and synthesizer options hash to the same fingerprint even if
+their links, rules, or traffic classes were listed in a different order.
+
+Canonicalization rules (on top of :mod:`repro.net.serialize`):
+
+* topology — switches and hosts sorted; each link oriented so its
+  lexicographically smaller ``(node, port)`` endpoint comes first, then the
+  link list sorted;
+* traffic classes — sorted by name, with field pairs and ingress lists
+  sorted;
+* configurations — switches sorted; rules within a table sorted by their
+  canonical JSON encoding (table semantics are priority-driven, so rule
+  *listing* order is irrelevant);
+* specification — the parsed formula's canonical printed form, so
+  whitespace/formatting differences in the concrete syntax don't matter;
+* options — the synthesizer-option mapping with keys sorted.  The *timeout*
+  option is deliberately excluded from the identity: a plan is the same plan
+  regardless of how long we were willing to wait for it.
+
+The fingerprint is the SHA-256 hex digest of the compact canonical JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.net.config import Configuration
+from repro.net.serialize import Problem, rule_to_dict
+from repro.net.topology import Topology
+
+
+def _canonical_json(value: Any) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_topology(topology: Topology) -> Dict[str, Any]:
+    """Order-insensitive dict form of a topology."""
+    links: List[List[Any]] = []
+    for link in topology.links:
+        a = [link.node_a, link.port_a]
+        b = [link.node_b, link.port_b]
+        links.append(a + b if a <= b else b + a)
+    return {
+        "switches": sorted(topology.switches),
+        "hosts": sorted(topology.hosts),
+        "links": sorted(links),
+    }
+
+
+def canonical_config(config: Configuration) -> Dict[str, List[Dict[str, Any]]]:
+    """Order-insensitive dict form of a configuration (rules sorted)."""
+    return {
+        switch: sorted(
+            (rule_to_dict(rule) for rule in config.table(switch)),
+            key=_canonical_json,
+        )
+        for switch in sorted(config.switches())
+    }
+
+
+def canonical_problem(problem: Problem) -> Dict[str, Any]:
+    """The canonical (order-insensitive) dict a fingerprint is computed over."""
+    classes = sorted(
+        (
+            {
+                "name": tc.name,
+                "fields": sorted(tc.field_map().items()),
+                "ingress": sorted(str(h) for h in hosts),
+            }
+            for tc, hosts in problem.ingresses.items()
+        ),
+        key=lambda entry: entry["name"],
+    )
+    return {
+        "topology": canonical_topology(problem.topology),
+        "classes": classes,
+        "init": canonical_config(problem.init),
+        "final": canonical_config(problem.final),
+        # the parsed formula's printed form, not the raw text: immune to
+        # whitespace/parenthesization differences in the input
+        "spec": str(problem.spec),
+    }
+
+
+def problem_fingerprint(
+    problem: Problem, options: Optional[Mapping[str, Any]] = None
+) -> str:
+    """SHA-256 fingerprint of ``problem`` (and optionally synthesizer options).
+
+    ``options`` is any JSON-serializable mapping describing the synthesizer
+    configuration that influences the *content* of the resulting plan
+    (checker backend, granularity, optimization switches).  A ``timeout``
+    key, if present, is ignored.
+    """
+    payload = canonical_problem(problem)
+    if options:
+        payload["options"] = {
+            str(k): v for k, v in options.items() if k != "timeout"
+        }
+    digest = hashlib.sha256(_canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()

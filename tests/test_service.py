@@ -1,0 +1,388 @@
+"""Tests for the batch synthesis service (repro.service)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ParseError
+from repro.net.commands import RuleGranUpdate, SwitchUpdate, Wait
+from repro.net.fields import TrafficClass
+from repro.net.rules import Forward, Pattern, Rule, Table
+from repro.net.serialize import (
+    Problem,
+    command_from_dict,
+    command_to_dict,
+    plan_from_dict,
+    plan_to_dict,
+    problem_from_dict,
+    problem_to_dict,
+)
+from repro.service import (
+    JobStatus,
+    PlanCache,
+    SynthesisOptions,
+    SynthesisService,
+    disk_cache_summary,
+    problem_fingerprint,
+)
+from repro.synthesis.plan import UpdatePlan
+from repro.topo import double_diamond, mini_datacenter, ring_diamond
+
+TC = TrafficClass.make("h1_to_h3", src="H1", dst="H3")
+RED = ["H1", "T1", "A1", "C1", "A3", "T3", "H3"]
+GREEN = ["H1", "T1", "A1", "C2", "A3", "T3", "H3"]
+SPEC = "dst=H3 => F at(H3)"
+
+
+def fig1_problem(spec_text=SPEC):
+    from repro.ltl.parser import parse
+    from repro.net.config import Configuration
+
+    topo = mini_datacenter()
+    return Problem(
+        topology=topo,
+        ingresses={TC: ["H1"]},
+        init=Configuration.from_paths(topo, {TC: RED}),
+        final=Configuration.from_paths(topo, {TC: GREEN}),
+        spec=parse(spec_text),
+        spec_text=spec_text,
+    )
+
+
+def scenario_problem(scenario):
+    return Problem(
+        topology=scenario.topology,
+        ingresses={tc: list(h) for tc, h in scenario.ingresses.items()},
+        init=scenario.init,
+        final=scenario.final,
+        spec=scenario.spec,
+        spec_text=str(scenario.spec),
+    )
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_stable_across_object_identity(self):
+        assert problem_fingerprint(fig1_problem()) == problem_fingerprint(
+            fig1_problem()
+        )
+
+    def test_insensitive_to_link_rule_and_class_order(self):
+        data = problem_to_dict(fig1_problem())
+        shuffled = json.loads(json.dumps(data))
+        shuffled["topology"]["links"] = list(reversed(shuffled["topology"]["links"]))
+        # flip one link's endpoint orientation too
+        a, b, pa, pb = shuffled["topology"]["links"][0]
+        shuffled["topology"]["links"][0] = [b, a, pb, pa]
+        shuffled["topology"]["switches"] = list(
+            reversed(shuffled["topology"]["switches"])
+        )
+        for table in shuffled["init"].values():
+            table.reverse()
+        shuffled["classes"] = list(reversed(shuffled["classes"]))
+        assert problem_fingerprint(problem_from_dict(data)) == problem_fingerprint(
+            problem_from_dict(shuffled)
+        )
+
+    def test_insensitive_to_spec_formatting(self):
+        assert problem_fingerprint(
+            fig1_problem("dst=H3 => F at(H3)")
+        ) == problem_fingerprint(fig1_problem("dst=H3   =>  (F at(H3))"))
+
+    def test_sensitive_to_content(self):
+        base = problem_fingerprint(fig1_problem())
+        assert problem_fingerprint(fig1_problem("dst=H3 => F at(A1)")) != base
+
+    def test_options_change_fingerprint_but_timeout_does_not(self):
+        problem = fig1_problem()
+        a = problem_fingerprint(problem, {"granularity": "switch", "timeout": 1})
+        b = problem_fingerprint(problem, {"granularity": "switch", "timeout": 99})
+        c = problem_fingerprint(problem, {"granularity": "rule"})
+        assert a == b
+        assert a != c
+
+
+# ----------------------------------------------------------------------
+# plan (de)serialization
+# ----------------------------------------------------------------------
+class TestPlanRoundTrip:
+    def make_plan(self):
+        table = Table([Rule(1, Pattern.make(dst="H3"), (Forward(2),))])
+        return UpdatePlan(
+            [
+                SwitchUpdate("T1", table),
+                Wait(),
+                RuleGranUpdate("A1", TC, table),
+            ],
+            granularity="rule",
+        )
+
+    def test_plan_roundtrip(self):
+        plan = self.make_plan()
+        clone = plan_from_dict(plan_to_dict(plan), {TC.name: TC})
+        assert clone.granularity == "rule"
+        assert clone.commands == plan.commands
+
+    def test_unknown_class_falls_back_to_nameonly(self):
+        data = command_to_dict(RuleGranUpdate("A1", TC, Table([])))
+        command = command_from_dict(data)
+        assert isinstance(command, RuleGranUpdate)
+        assert command.tc.name == TC.name
+        assert command.tc.fields == ()
+
+    def test_bad_command_rejected(self):
+        with pytest.raises(ParseError):
+            command_from_dict({"op": "noop"})
+
+
+# ----------------------------------------------------------------------
+# plan cache
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        plans = {k: UpdatePlan([]) for k in "abc"}
+        for key, plan in plans.items():
+            cache.put(key, plan)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.get("a") is None  # evicted
+        assert cache.get("c") is not None
+
+    def test_get_returns_fresh_objects(self):
+        cache = PlanCache()
+        cache.put("k", UpdatePlan([Wait()]))
+        first = cache.get("k")
+        second = cache.get("k")
+        assert first is not second
+        assert first.commands == second.commands
+
+    def test_disk_tier_survives_new_instance(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = PlanCache(capacity=4, directory=directory)
+        cache.put("deadbeef", UpdatePlan([Wait()]))
+        cache.persist_stats()
+
+        fresh = PlanCache(capacity=4, directory=directory)
+        plan = fresh.get("deadbeef")
+        assert plan is not None
+        assert fresh.stats.disk_hits == 1
+
+        summary = disk_cache_summary(directory)
+        assert summary["entries"] == 1
+        assert summary["total_bytes"] > 0
+        assert summary["counters"]["puts"] == 1
+
+    def test_persist_stats_accumulates(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        for _ in range(2):
+            cache = PlanCache(directory=directory)
+            cache.put("k", UpdatePlan([]))
+            cache.persist_stats()
+        assert disk_cache_summary(directory)["counters"]["puts"] == 2
+
+
+# ----------------------------------------------------------------------
+# the service engine
+# ----------------------------------------------------------------------
+class TestServiceSerial:
+    def test_cache_hit_on_identical_problem_different_identity(self):
+        service = SynthesisService(workers=0)
+        first = service.run_problems([fig1_problem()])[0]
+        assert first.status is JobStatus.DONE and not first.cached
+        # an equal problem rebuilt from scratch (different object identity)
+        clone = problem_from_dict(problem_to_dict(fig1_problem()))
+        second = service.run_problems([clone])[0]
+        assert second.status is JobStatus.DONE and second.cached
+        assert second.fingerprint == first.fingerprint
+        assert plan_to_dict(second.plan) == plan_to_dict(first.plan)
+        assert service.cache.stats.hits == 1
+
+    def test_batch_with_infeasible_and_timeout(self):
+        service = SynthesisService(workers=0)
+        ok_job = service.submit(fig1_problem(), job_id="ok")
+        service.submit(
+            scenario_problem(double_diamond(8, seed=1)), job_id="impossible"
+        )
+        service.submit(
+            scenario_problem(ring_diamond(8, seed=2)), job_id="slow", timeout=0.0
+        )
+        results = {r.job_id: r for r in service.stream()}
+        assert results["ok"].status is JobStatus.DONE
+        assert results["impossible"].status is JobStatus.INFEASIBLE
+        assert results["slow"].status is JobStatus.TIMEOUT
+        assert ok_job.status is JobStatus.DONE
+        # failures are never cached
+        assert len(service.cache) == 1
+        metrics = service.metrics_dict()
+        assert metrics["completed"] == 3
+        assert metrics["by_status"] == {"done": 1, "infeasible": 1, "timeout": 1}
+
+    def test_duplicate_jobs_coalesce(self):
+        service = SynthesisService(workers=0)
+        service.submit(fig1_problem(), job_id="a")
+        service.submit(fig1_problem(), job_id="b")
+        results = {r.job_id: r for r in service.stream()}
+        assert results["a"].status is JobStatus.DONE
+        assert results["b"].status is JobStatus.DONE
+        assert service.metrics.coalesced == 1
+        assert "coalesced" in results["b"].message
+
+    def test_different_timeouts_do_not_coalesce(self):
+        # a "timeout" verdict under a tiny budget must not be fanned out to
+        # an identical job submitted with a generous (or absent) budget
+        service = SynthesisService(workers=0)
+        problem = scenario_problem(ring_diamond(8, seed=2))
+        service.submit(problem, job_id="tiny", timeout=0.0)
+        service.submit(problem, job_id="patient")
+        results = {r.job_id: r for r in service.stream()}
+        assert results["tiny"].status is JobStatus.TIMEOUT
+        assert results["patient"].status is JobStatus.DONE
+        assert service.metrics.coalesced == 0
+
+    def test_portfolio_takes_first_definitive(self):
+        service = SynthesisService(workers=0)
+        service.submit(
+            fig1_problem(),
+            options=SynthesisOptions(portfolio=("incremental", "batch")),
+        )
+        result = service.run()[0]
+        assert result.status is JobStatus.DONE
+        assert result.backend in ("incremental", "batch")
+
+    def test_run_preserves_submission_order(self):
+        service = SynthesisService(workers=0)
+        service.submit(scenario_problem(ring_diamond(6, seed=1)), job_id="one")
+        service.submit(fig1_problem(), job_id="two")
+        assert [r.job_id for r in service.run()] == ["one", "two"]
+
+
+class TestServicePool:
+    def test_pool_batch_over_examples(self):
+        service = SynthesisService(workers=2)
+        service.submit(fig1_problem(), job_id="ok")
+        service.submit(
+            scenario_problem(ring_diamond(6, seed=3)), job_id="ring"
+        )
+        service.submit(
+            scenario_problem(double_diamond(8, seed=1)), job_id="impossible"
+        )
+        service.submit(
+            scenario_problem(ring_diamond(10, seed=4)), job_id="slow", timeout=0.0
+        )
+        results = {r.job_id: r for r in service.stream()}
+        assert results["ok"].status is JobStatus.DONE
+        assert results["ring"].status is JobStatus.DONE
+        assert results["impossible"].status is JobStatus.INFEASIBLE
+        assert results["slow"].status is JobStatus.TIMEOUT
+        assert results["ok"].plan is not None
+        assert results["ok"].plan.num_updates() > 0
+
+    def test_pool_portfolio_race(self):
+        service = SynthesisService(workers=2)
+        service.submit(
+            scenario_problem(double_diamond(8, seed=1)),
+            options=SynthesisOptions(portfolio=("incremental", "batch")),
+        )
+        result = service.run()[0]
+        assert result.status is JobStatus.INFEASIBLE
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestBatchCli:
+    def write_jsonl(self, tmp_path, docs):
+        path = tmp_path / "problems.jsonl"
+        path.write_text("".join(json.dumps(d) + "\n" for d in docs))
+        return str(path)
+
+    def batch_docs(self):
+        ok = problem_to_dict(fig1_problem())
+        ok["id"] = "ok"
+        bad = problem_to_dict(scenario_problem(double_diamond(8, seed=1)))
+        bad["id"] = "impossible"
+        slow = problem_to_dict(scenario_problem(ring_diamond(8, seed=2)))
+        slow["id"] = "slow"
+        slow["timeout"] = 0.0
+        return [ok, bad, slow]
+
+    def test_batch_streams_jsonl(self, tmp_path, capsys):
+        path = self.write_jsonl(tmp_path, self.batch_docs())
+        assert main(["batch", path, "--serial", "--no-plans"]) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line
+        ]
+        by_id = {entry["id"]: entry for entry in lines}
+        assert by_id["ok"]["status"] == "done"
+        assert by_id["impossible"]["status"] == "infeasible"
+        assert by_id["slow"]["status"] == "timeout"
+        assert all("plan" not in entry for entry in lines)
+
+    def test_batch_includes_plans_and_warm_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        path = self.write_jsonl(tmp_path, self.batch_docs()[:1])
+        assert main(["batch", path, "--serial", "--cache-dir", cache_dir]) == 0
+        first = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert first["cached"] is False
+        assert first["plan"]["commands"]
+
+        assert main(["batch", path, "--serial", "--cache-dir", cache_dir]) == 0
+        second = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert second["cached"] is True
+        assert second["plan"] == first["plan"]
+
+    def test_cache_stats_subcommand(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        path = self.write_jsonl(tmp_path, self.batch_docs()[:1])
+        main(["batch", path, "--serial", "--cache-dir", cache_dir, "--no-plans"])
+        capsys.readouterr()
+        assert main(["cache-stats", cache_dir]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["entries"] == 1
+        assert summary["counters"]["puts"] == 1
+
+    def test_batch_parse_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("this is not json\n")
+        assert main(["batch", str(path)]) == 4
+
+    def test_batch_rejects_non_numeric_timeout(self, tmp_path, capsys):
+        doc = problem_to_dict(fig1_problem())
+        doc["timeout"] = "5"
+        path = self.write_jsonl(tmp_path, [doc])
+        assert main(["batch", path]) == 4
+        assert "'timeout' must be a number" in capsys.readouterr().err
+
+    def test_batch_rejects_unknown_portfolio_backend(self, tmp_path, capsys):
+        path = self.write_jsonl(tmp_path, self.batch_docs()[:1])
+        with pytest.raises(SystemExit):
+            main(["batch", path, "--portfolio", "increnemtal"])
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_batch_portfolio_accepts_spaces(self, tmp_path, capsys):
+        path = self.write_jsonl(tmp_path, self.batch_docs()[:1])
+        assert main(["batch", path, "--serial", "--no-plans",
+                     "--portfolio", "incremental, batch"]) == 0
+        entry = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert entry["status"] == "done"
+
+    def test_synthesize_exit_codes(self, tmp_path, capsys):
+        from repro.net.serialize import save_problem
+
+        infeasible = tmp_path / "infeasible.json"
+        save_problem(scenario_problem(double_diamond(8, seed=1)), str(infeasible))
+        assert main(["synthesize", str(infeasible)]) == 2
+
+        feasible = tmp_path / "feasible.json"
+        save_problem(fig1_problem(), str(feasible))
+        assert main(["synthesize", str(feasible), "--timeout", "0"]) == 3
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{]")
+        assert main(["synthesize", str(bad)]) == 4

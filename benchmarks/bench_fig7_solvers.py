@@ -10,7 +10,6 @@ margin as instances grow; the monolithic automaton backend is the slowest
 (the paper's NuSMV gap is orders of magnitude on testbed-scale inputs).
 """
 
-import math
 
 from repro.bench import experiments
 from repro.bench.report import format_table

@@ -1,7 +1,30 @@
-"""Experiment drivers regenerating the paper's tables and figures (§6)."""
+"""Experiment drivers regenerating the paper's tables and figures (§6),
+plus the ``repro bench`` suite runner / regression harness."""
 
 from repro.bench.measure import geometric_mean, timed
 from repro.bench.report import format_series, format_table
 from repro.bench import experiments
+from repro.bench.runner import (
+    BENCH_SCHEMA,
+    Comparison,
+    compare_runs,
+    format_bench_summary,
+    load_bench,
+    run_suite,
+    write_bench,
+)
 
-__all__ = ["timed", "geometric_mean", "format_table", "format_series", "experiments"]
+__all__ = [
+    "timed",
+    "geometric_mean",
+    "format_table",
+    "format_series",
+    "experiments",
+    "BENCH_SCHEMA",
+    "Comparison",
+    "compare_runs",
+    "format_bench_summary",
+    "load_bench",
+    "run_suite",
+    "write_bench",
+]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.measure import geometric_mean, speedups, timed
 from repro.errors import SynthesisTimeout, UpdateInfeasibleError
@@ -24,17 +24,13 @@ from repro.runtime import (
     TwoPhaseStrategy,
     run_update_experiment,
 )
+from repro.scenarios.builders import family_scenarios, scenario_for_prop
 from repro.synthesis import UpdateSynthesizer, order_update, remove_waits
 from repro.topo import (
-    DiamondScenario,
-    builtin_zoo,
     chained_diamond,
-    diamond_on_topology,
     double_diamond,
-    fat_tree,
     mini_datacenter,
     ring_diamond,
-    synthetic_zoo,
 )
 
 # ----------------------------------------------------------------------
@@ -99,27 +95,6 @@ class SolverRow:
     seconds: Dict[str, float] = field(default_factory=dict)
 
 
-def _family_scenarios(family: str, sizes: Sequence[int], seed: int = 0) -> List[DiamondScenario]:
-    scenarios: List[DiamondScenario] = []
-    if family == "zoo":
-        pool = builtin_zoo() + synthetic_zoo(max(0, len(sizes)), seed=seed)
-        for index, (name, topo) in enumerate(pool):
-            sc = diamond_on_topology(topo, seed=seed + index, name=name)
-            if sc is not None:
-                scenarios.append(sc)
-    elif family == "fattree":
-        for k in sizes:
-            sc = diamond_on_topology(fat_tree(k), seed=seed, name=f"fattree{k}")
-            if sc is not None:
-                scenarios.append(sc)
-    elif family == "smallworld":
-        for n in sizes:
-            scenarios.append(ring_diamond(n, seed=seed))
-    else:
-        raise ValueError(f"unknown topology family {family!r}")
-    return scenarios
-
-
 #: per-family default sizes (laptop-scale stand-ins for the paper's ranges)
 FIG7_SIZES = {
     "zoo": (0, 0, 0, 0, 0, 0),  # zoo sizes come from the topologies themselves
@@ -142,7 +117,7 @@ def fig7_solvers(
     """
     sizes = sizes if sizes is not None else FIG7_SIZES[family]
     rows: List[SolverRow] = []
-    for scenario in _family_scenarios(family, sizes):
+    for scenario in family_scenarios(family, sizes):
         row = SolverRow(scenario.name, len(scenario.topology.switches))
         for backend in backends:
             try:
@@ -271,15 +246,6 @@ class ScalingRow:
     wait_seconds: float = 0.0
 
 
-def _scenario_for_prop(prop: str, n: int) -> DiamondScenario:
-    if prop == "reachability":
-        return ring_diamond(n, seed=2)
-    # waypoint / chain need shared articulation points: chained diamonds
-    segment_length = 4
-    segments = max(1, n // (2 * segment_length + 1))
-    return chained_diamond(segments, segment_length, prop=prop)
-
-
 def fig8g_scaling(
     sizes: Sequence[int] = (20, 40, 80, 160),
     props: Sequence[str] = ("reachability", "waypoint", "chain"),
@@ -289,7 +255,7 @@ def fig8g_scaling(
     rows: List[ScalingRow] = []
     for prop in props:
         for n in sizes:
-            scenario = _scenario_for_prop(prop, n)
+            scenario = scenario_for_prop(prop, n)
             plan, seconds = timed(
                 lambda: order_update(
                     scenario.topology,
@@ -440,7 +406,7 @@ def ablation_optimizations(
     """
     rows: List[AblationRow] = []
     for variant, toggles in ABLATION_VARIANTS.items():
-        scenario = _scenario_for_prop(prop, n)
+        scenario = scenario_for_prop(prop, n)
         try:
             plan, seconds = timed(
                 lambda: order_update(

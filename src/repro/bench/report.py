@@ -6,7 +6,7 @@ reader can compare shapes (who wins, by what factor, where crossovers fall).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 
 def format_table(

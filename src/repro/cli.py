@@ -18,7 +18,16 @@ Subcommands:
   :mod:`repro.service` batch engine (worker pool + content-addressed plan
   cache) and stream one JSON result object per line to stdout.  Each input
   line is a problem document (the ``synthesize`` format), optionally with
-  extra ``"id"`` and ``"timeout"`` keys.
+  extra ``"id"``, ``"timeout"`` and ``"granularity"`` keys.  An empty (or
+  comment-only) file is a valid empty batch: the result stream is empty and
+  the exit status is 0.
+* ``corpus --suite NAME`` — generate a deterministic scenario corpus
+  (:mod:`repro.scenarios`) in the ``batch`` JSONL format.
+* ``bench --suite NAME`` — run a scenario suite through the service engine
+  and write a schema-versioned ``BENCH_<suite>.json`` (per-scenario wall
+  time, model-checker calls, cache hits, plan shape);
+  ``bench --compare BASELINE CURRENT`` diffs two such documents and exits
+  non-zero when a regression exceeds ``--threshold``.
 * ``cache-stats DIR`` — summarize an on-disk plan cache directory
   (entry count, bytes, cumulative hit/miss counters).
 
@@ -49,7 +58,6 @@ from repro.errors import (
     UpdateInfeasibleError,
 )
 from repro.kripke.structure import KripkeStructure
-from repro.ltl import specs
 from repro.mc.interface import make_checker
 from repro.net.config import Configuration
 from repro.net.fields import TrafficClass
@@ -289,9 +297,13 @@ def _portfolio_arg(value: str):
 
 
 def _load_batch_jobs(path: str):
-    """Parse a JSONL problems file into (job_id, timeout, Problem) triples."""
+    """Parse a JSONL problems file into (job_id, timeout, granularity, Problem).
+
+    Blank and ``#``-comment lines are skipped, so an empty file is a valid
+    empty batch (zero jobs, empty result stream, exit status 0).
+    """
     jobs = []
-    handle = sys.stdin if path == "-" else open(path)
+    handle = sys.stdin if path == "-" else open(path, encoding="utf-8-sig")
     try:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -312,11 +324,17 @@ def _load_batch_jobs(path: str):
                         f"got {timeout!r}"
                     )
                 timeout = float(timeout)
+            granularity = data.get("granularity")
+            if granularity is not None and granularity not in ("switch", "rule"):
+                raise ParseError(
+                    f"{path}:{lineno}: 'granularity' must be 'switch' or "
+                    f"'rule', got {granularity!r}"
+                )
             try:
                 problem = problem_from_dict(data)
             except (ReproError, KeyError, TypeError, ValueError) as err:
                 raise ParseError(f"{path}:{lineno}: bad problem: {err}") from err
-            jobs.append((job_id, timeout, problem))
+            jobs.append((job_id, timeout, granularity, problem))
     finally:
         if handle is not sys.stdin:
             handle.close()
@@ -324,6 +342,8 @@ def _load_batch_jobs(path: str):
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.service import SynthesisOptions, SynthesisService
 
     jobs = _load_batch_jobs(args.problems)
@@ -338,8 +358,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         default_options=options,
     )
-    for job_id, timeout, problem in jobs:
-        service.submit(problem, job_id=job_id, timeout=timeout)
+    for job_id, timeout, granularity, problem in jobs:
+        opts = options if granularity is None else replace(options, granularity=granularity)
+        service.submit(problem, job_id=job_id, timeout=timeout, options=opts)
     errored = False
     for result in service.stream():
         errored = errored or result.status.value == "error"
@@ -351,6 +372,76 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         json.dump(service.metrics_dict(), sys.stderr, indent=2)
         sys.stderr.write("\n")
     return EXIT_FAILURE if errored else EXIT_OK
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        corpus_summary,
+        corpus_to_jsonl,
+        generate_corpus,
+        write_corpus,
+    )
+
+    records = generate_corpus(args.suite, quick=args.quick, base_seed=args.seed)
+    if args.out:
+        write_corpus(records, args.out)
+    else:
+        sys.stdout.write(corpus_to_jsonl(records))
+    if args.summary:
+        json.dump(corpus_summary(records), sys.stderr, indent=2)
+        sys.stderr.write("\n")
+    return EXIT_OK
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.runner import (
+        compare_runs,
+        format_bench_summary,
+        load_bench,
+        run_suite,
+        write_bench,
+    )
+
+    if args.compare:
+        baseline_path, current_path = args.compare
+        comparison = compare_runs(
+            load_bench(baseline_path),
+            load_bench(current_path),
+            threshold=args.threshold,
+            min_seconds=args.min_seconds,
+        )
+        if args.json:
+            json.dump(comparison.as_dict(), sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            for note in comparison.notes:
+                print(f"note: {note}")
+            for regression in comparison.regressions:
+                print(f"REGRESSION: {regression}")
+            verdict = "OK" if comparison.ok else "REGRESSED"
+            print(f"{verdict}: {current_path} vs baseline {baseline_path}")
+        return EXIT_OK if comparison.ok else EXIT_FAILURE
+    if not args.suite:
+        raise ReproError("bench needs --suite NAME (or --compare BASELINE CURRENT)")
+    document = run_suite(
+        args.suite,
+        quick=args.quick,
+        base_seed=args.seed,
+        workers=0 if args.serial else args.workers,
+        timeout=args.timeout,
+        checker=args.checker,
+    )
+    out_path = args.out or f"BENCH_{args.suite}.json"
+    write_bench(document, out_path)
+    if args.json:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(format_bench_summary(document))
+        print(f"wrote {out_path}")
+    if document["totals"]["statuses"].get("error"):
+        return EXIT_FAILURE
+    return EXIT_OK
 
 
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
@@ -409,6 +500,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--stats", action="store_true",
                          help="print service metrics to stderr when done")
     p_batch.set_defaults(fn=_cmd_batch)
+
+    p_corpus = sub.add_parser(
+        "corpus", help="generate a scenario corpus in the batch JSONL format"
+    )
+    p_corpus.add_argument("--suite", required=True,
+                          help="suite name (see repro.scenarios.suites: "
+                               "smoke, full, zoo)")
+    p_corpus.add_argument("--quick", action="store_true",
+                          help="use the suite's scaled-down CI sizes")
+    p_corpus.add_argument("--seed", type=int, default=0,
+                          help="base seed for scenario generation (default 0)")
+    p_corpus.add_argument("--out", "-o", default=None,
+                          help="write the JSONL here instead of stdout")
+    p_corpus.add_argument("--summary", action="store_true",
+                          help="print a coverage summary to stderr")
+    p_corpus.set_defaults(fn=_cmd_corpus)
+
+    p_bench = sub.add_parser(
+        "bench", help="run a scenario-suite benchmark / compare two BENCH runs"
+    )
+    p_bench.add_argument("--suite", default=None,
+                         help="suite to run (smoke, full, zoo)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="use the suite's scaled-down CI sizes")
+    p_bench.add_argument("--seed", type=int, default=0,
+                         help="base seed for scenario generation (default 0)")
+    p_bench.add_argument("--checker", default="incremental", choices=CHECKERS)
+    p_bench.add_argument("--workers", type=int, default=0,
+                         help="service worker pool size (default 0: in-process, "
+                              "keeps timings comparable)")
+    p_bench.add_argument("--serial", action="store_true",
+                         help="force in-process execution")
+    p_bench.add_argument("--timeout", type=float, default=120.0,
+                         help="per-scenario timeout in seconds (default 120)")
+    p_bench.add_argument("--out", default=None,
+                         help="output path (default BENCH_<suite>.json)")
+    p_bench.add_argument("--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
+                         default=None,
+                         help="diff two BENCH documents instead of running")
+    p_bench.add_argument("--threshold", type=float, default=2.0,
+                         help="regression factor for --compare (default 2.0)")
+    p_bench.add_argument("--min-seconds", type=float, default=0.02,
+                         help="noise floor for --compare timings (default 0.02)")
+    p_bench.add_argument("--json", action="store_true",
+                         help="emit the document/comparison as JSON to stdout")
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_cache = sub.add_parser(
         "cache-stats", help="summarize an on-disk plan cache directory"

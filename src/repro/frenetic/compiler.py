@@ -20,7 +20,7 @@ semantics.
 from __future__ import annotations
 
 from itertools import product as iter_product
-from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
+from typing import Dict, List, Mapping, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.config import Configuration
@@ -30,11 +30,9 @@ from repro.frenetic.policy import (
     Filter,
     Mod,
     PAnd,
-    PFalse,
     PNot,
     POr,
     PORT_FIELD,
-    PTrue,
     Policy,
     Pred,
     Seq,

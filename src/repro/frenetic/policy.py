@@ -15,7 +15,7 @@ flow-table compiler is property-tested against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.net.fields import FieldName, FieldValue, Packet
 from repro.net.topology import Port

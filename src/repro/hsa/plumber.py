@@ -19,7 +19,7 @@ exact, and it mirrors NetPlumber's re-propagation of affected flows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.hsa.headerspace import FieldEncoder, HeaderSet

@@ -16,22 +16,10 @@ plus the "canned" properties other systems special-case
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.ltl.atoms import At, Dropped, FieldIs
-from repro.ltl.syntax import (
-    Formula,
-    NotProp,
-    Prop,
-    TRUE,
-    Until,
-    conj,
-    disj,
-    F,
-    G,
-    implies,
-    negate,
-)
+from repro.ltl.syntax import Formula, NotProp, Prop, Until, conj, disj, F, G, implies
 from repro.net.fields import TrafficClass
 from repro.net.topology import NodeId
 

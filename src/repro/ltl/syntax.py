@@ -12,7 +12,7 @@ Formulas are immutable, hash-consed enough for dictionary use, and negation
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterator, Set, Tuple
+from typing import FrozenSet, Iterator, Set
 
 from repro.ltl.atoms import Atom
 

@@ -21,7 +21,7 @@ labeling on synthesis query streams).
 from __future__ import annotations
 
 from itertools import product as iter_product
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.kripke.structure import KState, KripkeStructure
 from repro.ltl.closure import Closure

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Sequence, Set
 
 from repro.kripke.structure import KState, KripkeStructure
 from repro.ltl.syntax import Formula

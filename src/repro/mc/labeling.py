@@ -28,7 +28,7 @@ This matches ``G phi == false R phi`` and the reference trace semantics in
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.ltl.closure import Closure
 from repro.ltl.syntax import (

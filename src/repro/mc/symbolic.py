@@ -23,7 +23,7 @@ re-checks) is exactly what the incremental checker is measured against.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.bdd.bdd import BDD
 from repro.kripke.structure import KState, KripkeStructure
@@ -36,7 +36,6 @@ from repro.ltl.syntax import (
     NotProp,
     Or,
     Prop,
-    Release,
     Tt,
     Until,
     negate,
@@ -84,7 +83,6 @@ class SymbolicChecker:
         def nxt(i: int) -> int:
             return 2 * i + 1
 
-        cur_vars = [cur(i) for i in range(pairs)]
         nxt_vars = [nxt(i) for i in range(pairs)]
         to_next = {cur(i): nxt(i) for i in range(pairs)}
         to_cur = {nxt(i): cur(i) for i in range(pairs)}

@@ -19,7 +19,7 @@ correctness theorems are stated over, and the wait-removal heuristic
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 from repro.net.fields import TrafficClass
 from repro.net.rules import Table

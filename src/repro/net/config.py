@@ -12,7 +12,7 @@ along a host-to-host path, which is how all the paper's experiment workloads
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.fields import Packet, TrafficClass, packet_for_class

@@ -14,7 +14,7 @@ failures".  This module provides the two building blocks:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Set, Tuple
 
 from repro.errors import TopologyError
 from repro.net.config import Configuration

@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.ltl.atoms import StateView
@@ -36,7 +36,6 @@ from repro.net.commands import (
     Incr,
     RuleGranUpdate,
     SwitchUpdate,
-    Wait,
     expand_waits,
 )
 from repro.net.config import Configuration

@@ -11,7 +11,7 @@ highest-priority matching rule (§3.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.net.fields import FieldName, FieldValue, Packet
 

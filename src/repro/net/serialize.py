@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import ParseError
 from repro.ltl.parser import parse
@@ -230,8 +230,14 @@ def plan_to_dict(plan: UpdatePlan) -> Dict[str, Any]:
         "stats": {
             "model_checks": plan.stats.model_checks,
             "counterexamples": plan.stats.counterexamples,
+            "pruned_visited": plan.stats.pruned_visited,
+            "pruned_wrong": plan.stats.pruned_wrong,
+            "loops_rejected": plan.stats.loops_rejected,
+            "backtracks": plan.stats.backtracks,
+            "sat_terminated": plan.stats.sat_terminated,
             "waits_before_removal": plan.stats.waits_before_removal,
             "waits_after_removal": plan.stats.waits_after_removal,
+            "wait_removal_seconds": plan.stats.wait_removal_seconds,
             "synthesis_seconds": plan.stats.synthesis_seconds,
         },
     }
@@ -273,7 +279,13 @@ def plan_from_dict(
     stats = data.get("stats", {})
     plan.stats.model_checks = int(stats.get("model_checks", 0))
     plan.stats.counterexamples = int(stats.get("counterexamples", 0))
+    plan.stats.pruned_visited = int(stats.get("pruned_visited", 0))
+    plan.stats.pruned_wrong = int(stats.get("pruned_wrong", 0))
+    plan.stats.loops_rejected = int(stats.get("loops_rejected", 0))
+    plan.stats.backtracks = int(stats.get("backtracks", 0))
+    plan.stats.sat_terminated = bool(stats.get("sat_terminated", False))
     plan.stats.waits_before_removal = int(stats.get("waits_before_removal", 0))
     plan.stats.waits_after_removal = int(stats.get("waits_after_removal", 0))
+    plan.stats.wait_removal_seconds = float(stats.get("wait_removal_seconds", 0.0))
     plan.stats.synthesis_seconds = float(stats.get("synthesis_seconds", 0.0))
     return plan

@@ -10,7 +10,7 @@ synthesized plan never violates the spec).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.ltl.atoms import StateView
 from repro.ltl.semantics import evaluate

@@ -230,9 +230,6 @@ def run_update_experiment(
             raise RuntimeError(f"strategy {strategy.name} did not converge")
     sim.run(cooldown_ticks)
     sim.drain()
-    reference_final = final
-    if isinstance(strategy, TwoPhaseStrategy):
-        reference_final = twophase.steady_state(topology, final, flows)
     return ExperimentResult(
         strategy=strategy.name,
         stats=sim.stats,

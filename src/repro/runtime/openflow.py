@@ -10,8 +10,8 @@ memory overhead of an update strategy (Figure 2(b)).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, List
 
 from collections import deque
 

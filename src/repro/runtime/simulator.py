@@ -11,12 +11,11 @@ runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.net.config import Configuration
 from repro.net.fields import Packet, TrafficClass, packet_for_class
-from repro.net.rules import Table
 from repro.net.topology import NodeId, Port, Topology
 from repro.runtime.openflow import SwitchAgent
 

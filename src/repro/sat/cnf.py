@@ -8,7 +8,7 @@ encoder) never juggles raw integers.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Tuple
 
 
 class CNF:

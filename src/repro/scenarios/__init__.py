@@ -1,0 +1,39 @@
+"""The scenario corpus: deterministic update-synthesis problem generation.
+
+Crosses the paper's topology families (fat-trees, Topology Zoo WANs,
+small-world rings, diamond chains) with spec templates (reachability,
+waypointing, isolation/firewall, blackhole-freedom, service chains) and
+perturbations (link failures, rule granularity, multi-class double
+diamonds) into named suites, exported in the batch service's JSONL problem
+format — see ``repro corpus`` and ``repro bench``.
+"""
+
+from repro.scenarios.builders import FAMILIES, family_scenarios, scenario_for_prop
+from repro.scenarios.corpus import (
+    CORPUS_SCHEMA,
+    ScenarioRecord,
+    corpus_summary,
+    corpus_to_jsonl,
+    generate_corpus,
+    write_corpus,
+)
+from repro.scenarios.suites import SUITES, FamilyBlock, Suite, get_suite
+from repro.scenarios.templates import TEMPLATES, apply_template
+
+__all__ = [
+    "FAMILIES",
+    "family_scenarios",
+    "scenario_for_prop",
+    "CORPUS_SCHEMA",
+    "ScenarioRecord",
+    "corpus_summary",
+    "corpus_to_jsonl",
+    "generate_corpus",
+    "write_corpus",
+    "SUITES",
+    "FamilyBlock",
+    "Suite",
+    "get_suite",
+    "TEMPLATES",
+    "apply_template",
+]

@@ -1,0 +1,159 @@
+"""Specification templates for the scenario corpus.
+
+Each template turns a :class:`~repro.topo.diamond.DiamondScenario` (with
+recorded per-class paths) into a *concrete-syntax* LTL specification — text
+in the grammar of :mod:`repro.ltl.parser` — so generated problems serialize
+to the problem-file format and round-trip through the batch service.
+
+Templates return ``None`` when they do not apply to a scenario (e.g.
+``isolation`` needs a switch off every path, ``waypoint`` needs a shared
+penultimate switch), letting the corpus generator skip the combination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.net.fields import TrafficClass
+from repro.net.topology import NodeId
+from repro.topo.diamond import DiamondScenario
+
+
+def guard_text(tc: TrafficClass) -> str:
+    """The class guard in concrete syntax (``src=Ha & dst=Hb``)."""
+    parts = [f"{field}={value}" for field, value in tc.fields]
+    return " & ".join(parts) if parts else "true"
+
+
+def reachability_text(tc: TrafficClass, dst: NodeId) -> str:
+    return f"({guard_text(tc)}) => F at({dst})"
+
+
+def waypoint_text(tc: TrafficClass, way: NodeId, dst: NodeId) -> str:
+    return f"({guard_text(tc)}) => (!at({dst}) U (at({way}) & F at({dst})))"
+
+
+def isolation_text(tc: TrafficClass, forbidden: NodeId, dst: NodeId) -> str:
+    """Never visit ``forbidden`` *and* still reach ``dst`` (firewall + connectivity)."""
+    return f"({guard_text(tc)}) => (G !at({forbidden}) & F at({dst}))"
+
+
+def blackhole_text(tc: TrafficClass) -> str:
+    return f"({guard_text(tc)}) => G !dropped"
+
+
+def chain_text(tc: TrafficClass, waypoints: Sequence[NodeId], dst: NodeId) -> str:
+    """The paper's ``way(W, d)`` recursion, rendered in concrete syntax."""
+
+    def way(points: Sequence[NodeId]) -> str:
+        if not points:
+            return f"F at({dst})"
+        head, rest = points[0], points[1:]
+        avoid = " & ".join([f"!at({w})" for w in rest] + [f"!at({dst})"])
+        return f"(({avoid}) U (at({head}) & {way(rest)}))"
+
+    return f"({guard_text(tc)}) => {way(list(waypoints))}"
+
+
+def _conj(clauses: List[str]) -> Optional[str]:
+    if not clauses:
+        return None
+    if len(clauses) == 1:
+        return clauses[0]
+    return " & ".join(f"({clause})" for clause in clauses)
+
+
+def _class_paths(
+    scenario: DiamondScenario,
+) -> List[tuple]:
+    """(tc, init_path, final_path) per class, skipping classes without paths."""
+    out = []
+    for tc in scenario.classes:
+        init_path = scenario.init_paths.get(tc)
+        final_path = scenario.final_paths.get(tc)
+        if init_path and final_path:
+            out.append((tc, init_path, final_path))
+    return out
+
+
+# ----------------------------------------------------------------------
+# template appliers: scenario -> spec text (or None when inapplicable)
+# ----------------------------------------------------------------------
+def _apply_reachability(scenario: DiamondScenario) -> Optional[str]:
+    clauses = [
+        reachability_text(tc, final_path[-1])
+        for tc, _, final_path in _class_paths(scenario)
+    ]
+    return _conj(clauses)
+
+
+def _apply_waypoint(scenario: DiamondScenario) -> Optional[str]:
+    clauses = []
+    for tc, init_path, final_path in _class_paths(scenario):
+        way, dst = final_path[-2], final_path[-1]
+        if way not in init_path:
+            return None  # the waypoint must survive every update order
+        clauses.append(waypoint_text(tc, way, dst))
+    return _conj(clauses)
+
+
+def _apply_isolation(scenario: DiamondScenario) -> Optional[str]:
+    on_paths = set()
+    for _, init_path, final_path in _class_paths(scenario):
+        on_paths.update(init_path)
+        on_paths.update(final_path)
+    spare = sorted(scenario.topology.switches - on_paths)
+    if not spare:
+        return None  # every switch lies on some path; nothing to forbid
+    forbidden = spare[0]
+    clauses = [
+        isolation_text(tc, forbidden, final_path[-1])
+        for tc, _, final_path in _class_paths(scenario)
+    ]
+    return _conj(clauses)
+
+
+def _apply_blackhole(scenario: DiamondScenario) -> Optional[str]:
+    clauses = [blackhole_text(tc) for tc, _, _ in _class_paths(scenario)]
+    return _conj(clauses)
+
+
+def _apply_chain(scenario: DiamondScenario) -> Optional[str]:
+    """Service chaining through the articulation waypoints of a chained
+    diamond: the interior switches shared by the init and final paths."""
+    paths = _class_paths(scenario)
+    if len(paths) != 1:
+        return None
+    tc, init_path, final_path = paths[0]
+    shared = [
+        node
+        for node in init_path[1:-1]
+        if node in set(final_path[1:-1]) and scenario.topology.is_switch(node)
+    ]
+    # drop the src- and dst-adjacent shared switches: chain the interior
+    interior = shared[1:-1] if len(shared) > 2 else shared
+    if not interior:
+        return None
+    return chain_text(tc, interior, final_path[-1])
+
+
+#: template name -> applier, in corpus iteration order
+TEMPLATES: Dict[str, object] = {
+    "reachability": _apply_reachability,
+    "waypoint": _apply_waypoint,
+    "isolation": _apply_isolation,
+    "blackhole": _apply_blackhole,
+    "chain": _apply_chain,
+}
+
+
+def apply_template(name: str, scenario: DiamondScenario) -> Optional[str]:
+    """Instantiate template ``name`` on ``scenario``; ``None`` if inapplicable."""
+    try:
+        applier = TEMPLATES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown spec template {name!r} (choose from {', '.join(TEMPLATES)})"
+        ) from None
+    return applier(scenario)  # type: ignore[operator]

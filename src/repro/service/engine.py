@@ -32,7 +32,6 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import SynthesisTimeout, UpdateInfeasibleError
-from repro.net.fields import TrafficClass
 from repro.net.serialize import (
     Problem,
     plan_from_dict,
@@ -330,7 +329,10 @@ class SynthesisService:
             while pending:
                 done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
                 for future in done:
-                    key, backend = pending.pop(future)
+                    entry = pending.pop(future, None)
+                    if entry is None:
+                        continue  # a sibling backend won while this one settled
+                    key, backend = entry
                     try:
                         res = future.result()
                     except Exception as err:  # noqa: BLE001 — broken pool etc.

@@ -13,7 +13,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List
 
-from repro.service.jobs import JobResult, JobStatus
+from repro.service.jobs import JobResult
 
 #: Latency samples kept for the percentile fields; a long-lived service must
 #: not grow memory with every job served.

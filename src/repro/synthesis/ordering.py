@@ -15,7 +15,7 @@ Figure 8(h) terminate quickly instead of exhausting the DFS.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Tuple
 
 from repro.sat.solver import SatSolver
 

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List
 
-from repro.net.commands import Command, Wait, count_waits, is_update, updates_of
+from repro.net.commands import Command, Wait, count_waits, updates_of
 
 
 @dataclass

@@ -12,8 +12,7 @@ trace, so it can be pruned without a model-checker call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Hashable, List, Sequence, Set, Tuple
 
 from repro.kripke.structure import KState
 

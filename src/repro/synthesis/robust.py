@@ -15,7 +15,7 @@ path with no installed alternative).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence
 
 from repro.errors import ForwardingLoopError
 from repro.kripke.structure import KripkeStructure

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ltl import specs
 from repro.ltl.syntax import Formula
@@ -34,7 +34,13 @@ from repro.topo.smallworld import small_world
 
 @dataclass
 class DiamondScenario:
-    """A complete synthesis problem instance."""
+    """A complete synthesis problem instance.
+
+    ``init_paths``/``final_paths`` record the per-class node paths the two
+    configurations were built from (when known): downstream consumers such
+    as the scenario corpus (:mod:`repro.scenarios`) derive waypoint and
+    isolation specifications from them.
+    """
 
     name: str
     topology: Topology
@@ -44,6 +50,8 @@ class DiamondScenario:
     ingresses: Dict[TrafficClass, List[NodeId]]
     prop: str = "reachability"
     expected_feasible: bool = True
+    init_paths: Dict[TrafficClass, List[NodeId]] = field(default_factory=dict)
+    final_paths: Dict[TrafficClass, List[NodeId]] = field(default_factory=dict)
 
     @property
     def classes(self) -> List[TrafficClass]:
@@ -125,6 +133,8 @@ def _scenario_from_paths(
         spec=spec,
         ingresses={tc: [host_a]},
         prop=prop,
+        init_paths={tc: list(init_path)},
+        final_paths={tc: list(final_path)},
     )
 
 
@@ -215,6 +225,8 @@ def chained_diamond(
         spec=spec,
         ingresses={tc: [host_a]},
         prop=prop,
+        init_paths={tc: init_path},
+        final_paths={tc: final_path},
     )
 
 
@@ -234,20 +246,16 @@ def double_diamond(n: int, seed: int = 0) -> DiamondScenario:
     arc2 = [f"S{i}" for i in [0] + list(range(n - 1, mid - 1, -1))]  # S0, Sn-1 .. Smid
     tc_ab = TrafficClass.make("f_ab", src=host_a, dst=host_b)
     tc_ba = TrafficClass.make("f_ba", src=host_b, dst=host_a)
-    init = Configuration.from_paths(
-        topo,
-        {
-            tc_ab: [host_a] + arc1 + [host_b],
-            tc_ba: [host_b] + list(reversed(arc2)) + [host_a],
-        },
-    )
-    final = Configuration.from_paths(
-        topo,
-        {
-            tc_ab: [host_a] + arc2 + [host_b],
-            tc_ba: [host_b] + list(reversed(arc1)) + [host_a],
-        },
-    )
+    init_paths = {
+        tc_ab: [host_a] + arc1 + [host_b],
+        tc_ba: [host_b] + list(reversed(arc2)) + [host_a],
+    }
+    final_paths = {
+        tc_ab: [host_a] + arc2 + [host_b],
+        tc_ba: [host_b] + list(reversed(arc1)) + [host_a],
+    }
+    init = Configuration.from_paths(topo, init_paths)
+    final = Configuration.from_paths(topo, final_paths)
     spec = specs.all_of(
         [specs.reachability(tc_ab, host_b), specs.reachability(tc_ba, host_a)]
     )
@@ -260,4 +268,6 @@ def double_diamond(n: int, seed: int = 0) -> DiamondScenario:
         ingresses={tc_ab: [host_a], tc_ba: [host_b]},
         prop="reachability",
         expected_feasible=False,
+        init_paths={tc: list(p) for tc, p in init_paths.items()},
+        final_paths={tc: list(p) for tc, p in final_paths.items()},
     )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import List, Set, Tuple
+from typing import Set, Tuple
 
 from repro.net.topology import Topology
 

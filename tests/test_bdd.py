@@ -5,7 +5,7 @@ import itertools
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.bdd.bdd import BDD, FALSE_NODE, TRUE_NODE
+from repro.bdd.bdd import BDD
 
 NUM_VARS = 5
 

@@ -18,7 +18,7 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import ModelCheckError
 from repro.kripke.structure import KripkeStructure
 from repro.ltl import specs
-from repro.ltl.atoms import At, Dropped, FieldIs
+from repro.ltl.atoms import At, Dropped
 from repro.ltl.semantics import evaluate
 from repro.ltl.syntax import (
     And,
@@ -31,8 +31,6 @@ from repro.ltl.syntax import (
     Release,
     TRUE,
     Until,
-    F,
-    negate,
 )
 from repro.mc import AutomatonChecker, BatchChecker, IncrementalChecker, make_checker
 from repro.mc.netplumber import NetPlumberChecker
@@ -201,7 +199,7 @@ class TestNetPlumberBackend:
         assert np.full_check().ok
         ks_bad = structure(GREEN)
         # remove C2's table: blackhole
-        dirty = ks_bad.update_switch("C2", Configuration.empty().table("C2"))
+        ks_bad.update_switch("C2", Configuration.empty().table("C2"))
         np_bad = NetPlumberChecker(ks_bad, spec)
         assert not np_bad.full_check().ok
 

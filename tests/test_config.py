@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.net.config import Configuration, next_hops, path_rules
-from repro.net.fields import Packet, TrafficClass, packet_for_class
+from repro.net.fields import TrafficClass, packet_for_class
 from repro.net.rules import Forward, Pattern, Rule, Table
 from repro.topo import mini_datacenter
 

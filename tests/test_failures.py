@@ -54,7 +54,7 @@ class TestFailLink:
 
     def test_links_used(self, scenario):
         topo, init, _ = scenario
-        used = {frozenset(l) for l in links_used(topo, init)}
+        used = {frozenset(link) for link in links_used(topo, init)}
         assert frozenset(("T1", "A1")) in used
         assert frozenset(("A1", "C1")) in used
         # T3 only forwards to the host H3

@@ -1,6 +1,5 @@
 """Tests for packets and traffic classes."""
 
-import pytest
 
 from repro.net.fields import Packet, TrafficClass, packet_for_class
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ForwardingLoopError
-from repro.kripke.structure import KripkeStructure, KState, rule_covers_class
+from repro.kripke.structure import KripkeStructure, rule_covers_class
 from repro.net.config import Configuration
 from repro.net.fields import TrafficClass
 from repro.net.rules import Forward, Pattern, Rule, Table

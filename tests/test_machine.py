@@ -5,9 +5,9 @@ import pytest
 from repro.errors import SimulationError
 from repro.net.commands import Flush, Incr, SwitchUpdate, Wait
 from repro.net.config import Configuration
-from repro.net.fields import Packet, TrafficClass, packet_for_class
+from repro.net.fields import TrafficClass, packet_for_class
 from repro.net.machine import NetworkMachine
-from repro.net.trace import is_loop_free, trace_locations, trace_satisfies
+from repro.net.trace import is_loop_free, trace_satisfies
 from repro.ltl import specs
 from repro.topo import mini_datacenter
 

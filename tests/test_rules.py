@@ -1,6 +1,5 @@
 """Tests for patterns, rules, and the [[tbl]] table semantics."""
 
-import pytest
 
 from repro.net.fields import Packet
 from repro.net.rules import EMPTY_TABLE, Forward, Pattern, Rule, SetField, Table

@@ -10,7 +10,7 @@ from repro.runtime import (
     TwoPhaseStrategy,
     run_update_experiment,
 )
-from repro.runtime.openflow import AtomicBundle, FlowMod, SwitchAgent
+from repro.runtime.openflow import FlowMod, SwitchAgent
 from repro.runtime.simulator import TickSimulator
 from repro.runtime import twophase
 from repro.topo import mini_datacenter

@@ -13,13 +13,13 @@ from repro.synthesis.ordering import OrderingConstraints
 
 def brute_force(num_vars, clauses, assumptions=()):
     """Reference SAT decision by enumeration."""
-    fixed = {abs(l): l > 0 for l in assumptions}
+    fixed = {abs(lit): lit > 0 for lit in assumptions}
     for bits in itertools.product([False, True], repeat=num_vars):
         assignment = {v + 1: bits[v] for v in range(num_vars)}
         if any(assignment[v] != val for v, val in fixed.items()):
             continue
         if all(
-            any(assignment[abs(l)] == (l > 0) for l in clause) for clause in clauses
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause) for clause in clauses
         ):
             return True
     return False
@@ -76,7 +76,7 @@ class TestSolverBasics:
         assert solver.solve()
         model = solver.model()
         for clause in clauses:
-            assert any(model[abs(l)] == (l > 0) for l in clause)
+            assert any(model[abs(lit)] == (lit > 0) for lit in clause)
 
 
 class TestAssumptions:

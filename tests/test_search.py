@@ -6,7 +6,7 @@ from repro.errors import SynthesisTimeout, UpdateInfeasibleError
 from repro.kripke.structure import KripkeStructure
 from repro.ltl import specs
 from repro.mc import make_checker
-from repro.net.commands import SwitchUpdate, is_careful
+from repro.net.commands import is_careful
 from repro.net.config import Configuration
 from repro.net.fields import TrafficClass
 from repro.synthesis import order_update

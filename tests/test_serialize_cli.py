@@ -12,13 +12,11 @@ from repro.net.fields import TrafficClass
 from repro.net.rules import Forward, Pattern, Rule, SetField, Table
 from repro.net.serialize import (
     Problem,
-    command_to_dict,
     config_from_dict,
     config_to_dict,
     load_problem,
     plan_to_dict,
     problem_from_dict,
-    problem_to_dict,
     rule_from_dict,
     rule_to_dict,
     save_problem,

@@ -9,7 +9,7 @@ from repro.errors import UpdateInfeasibleError
 from repro.net.fields import packet_for_class
 from repro.net.machine import NetworkMachine
 from repro.net.trace import is_loop_free, trace_satisfies
-from repro.topo import mini_datacenter, ring_diamond
+from repro.topo import mini_datacenter
 
 TC = TrafficClass.make("f13", src="H1", dst="H3")
 RED = ["H1", "T1", "A1", "C1", "A3", "T3", "H3"]

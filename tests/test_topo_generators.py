@@ -71,8 +71,8 @@ class TestSmallWorld:
     def test_deterministic(self):
         a = small_world(30, seed=5)
         b = small_world(30, seed=5)
-        assert {(l.node_a, l.node_b) for l in a.links} == {
-            (l.node_a, l.node_b) for l in b.links
+        assert {(link.node_a, link.node_b) for link in a.links} == {
+            (link.node_a, link.node_b) for link in b.links
         }
 
     def test_validation(self):

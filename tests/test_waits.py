@@ -1,6 +1,5 @@
 """Tests for the wait-removal heuristic (§4.2.C)."""
 
-import pytest
 
 from repro.ltl import specs
 from repro.net.commands import SwitchUpdate, Wait
@@ -71,7 +70,6 @@ class TestRemoveWaits:
             ]
         )
         slim = remove_waits(topo, init, plan)
-        updates = [c.switch for c in slim.updates()]
         commands = list(slim.commands)
         # find what precedes C1's update
         c1_index = next(

@@ -31,6 +31,10 @@ BENCH_SCHEMA = "repro-bench/1"
 #: per-scenario times below this floor are treated as noise when comparing
 MIN_COMPARE_SECONDS = 0.02
 
+#: timing-resolution floor for the (informational) median-speedup metric:
+#: scenarios where both runs are below it are excluded as signal-free
+SPEEDUP_FLOOR_SECONDS = 0.0005
+
 
 def run_suite(
     suite: str,
@@ -40,12 +44,15 @@ def run_suite(
     workers: int = 0,
     timeout: Optional[float] = 120.0,
     checker: str = "incremental",
+    memoize: bool = True,
 ) -> Dict[str, Any]:
     """Execute every scenario of ``suite`` and return the BENCH document.
 
     ``workers=0`` runs in-process (the default: serial execution keeps
     per-scenario timings comparable across runs); a positive count uses the
-    service's worker pool.
+    service's worker pool.  ``memoize`` toggles the cross-candidate verdict
+    memo (:mod:`repro.perf`) — verdict-preserving, so the two settings must
+    agree on every status and plan shape.
     """
     records = generate_corpus(suite, quick=quick, base_seed=base_seed)
     if not records:
@@ -57,7 +64,10 @@ def run_suite(
             record.problem,
             job_id=record.scenario_id,
             options=SynthesisOptions(
-                checker=checker, granularity=record.granularity, timeout=timeout
+                checker=checker,
+                granularity=record.granularity,
+                timeout=timeout,
+                memoize=memoize,
             ),
         )
     start = time.perf_counter()
@@ -90,6 +100,12 @@ def run_suite(
                 plan_updates=result.plan.num_updates(),
                 plan_waits=result.plan.num_waits(),
             )
+            if memoize:
+                row.update(
+                    memo_probes=stats.memo_probes,
+                    memo_hits=stats.memo_hits,
+                    memo_pruned=stats.memo_pruned,
+                )
         rows.append(row)
     wall = time.perf_counter() - start
     rows.sort(key=lambda row: row["id"])
@@ -110,6 +126,7 @@ def run_suite(
         "base_seed": base_seed,
         "checker": checker,
         "workers": workers,
+        "memoize": memoize,
         "env": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
@@ -125,6 +142,7 @@ def run_suite(
             "busy_seconds": round(sum(row["seconds"] for row in rows), 6),
             "cache_hits": sum(1 for row in rows if row["cached"]),
             "model_checks": sum(row.get("model_checks", 0) for row in rows),
+            "memo_pruned": sum(row.get("memo_pruned", 0) for row in rows),
         },
         "service": service.metrics_dict(),
         "scenarios": rows,
@@ -154,17 +172,29 @@ def load_bench(path: str) -> Dict[str, Any]:
 
 @dataclass
 class Comparison:
-    """The verdict of diffing a current BENCH run against a baseline."""
+    """The verdict of diffing a current BENCH run against a baseline.
+
+    ``median_speedup`` is the median over matched scenarios of
+    ``baseline_seconds / current_seconds`` — above 1.0 means the current
+    run is faster.  It is informational (never a regression by itself) and
+    is how perf PRs demonstrate their wins against the committed baseline.
+    """
 
     regressions: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    median_speedup: Optional[float] = None
 
     @property
     def ok(self) -> bool:
         return not self.regressions
 
     def as_dict(self) -> Dict[str, Any]:
-        return {"ok": self.ok, "regressions": self.regressions, "notes": self.notes}
+        return {
+            "ok": self.ok,
+            "regressions": self.regressions,
+            "notes": self.notes,
+            "median_speedup": self.median_speedup,
+        }
 
 
 def compare_runs(
@@ -187,6 +217,37 @@ def compare_runs(
     comparison = Comparison()
     base_rows = {row["id"]: row for row in baseline.get("scenarios", [])}
     cur_rows = {row["id"]: row for row in current.get("scenarios", [])}
+
+    # Median speedup over *informative* rows only: matching status, and at
+    # least one side above the timing-resolution floor (rows where both
+    # sides are sub-floor carry no signal and would dilute the median with
+    # fake 1.0x entries; a zero-second row must never mint a 1e9x ratio).
+    # Same-machine comparisons only — cross-machine ratios measure hardware.
+    ratios = []
+    for sid in set(base_rows) & set(cur_rows):
+        base_row, cur_row = base_rows[sid], cur_rows[sid]
+        if base_row.get("status") != cur_row.get("status"):
+            continue
+        base_s = float(base_row.get("seconds", 0.0))
+        cur_s = float(cur_row.get("seconds", 0.0))
+        if base_s < SPEEDUP_FLOOR_SECONDS and cur_s < SPEEDUP_FLOOR_SECONDS:
+            continue
+        ratios.append(
+            max(base_s, SPEEDUP_FLOOR_SECONDS) / max(cur_s, SPEEDUP_FLOOR_SECONDS)
+        )
+    ratios.sort()
+    if ratios:
+        mid = len(ratios) // 2
+        median = (
+            ratios[mid]
+            if len(ratios) % 2
+            else (ratios[mid - 1] + ratios[mid]) / 2.0
+        )
+        comparison.median_speedup = round(median, 4)
+        comparison.notes.append(
+            f"median per-scenario speedup {median:.2f}x vs baseline "
+            f"(over {len(ratios)} timed scenarios)"
+        )
 
     for scenario_id in sorted(set(base_rows) - set(cur_rows)):
         comparison.regressions.append(f"{scenario_id}: missing from current run")

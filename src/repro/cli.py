@@ -25,9 +25,14 @@ Subcommands:
   (:mod:`repro.scenarios`) in the ``batch`` JSONL format.
 * ``bench --suite NAME`` — run a scenario suite through the service engine
   and write a schema-versioned ``BENCH_<suite>.json`` (per-scenario wall
-  time, model-checker calls, cache hits, plan shape);
-  ``bench --compare BASELINE CURRENT`` diffs two such documents and exits
-  non-zero when a regression exceeds ``--threshold``.
+  time, model-checker calls, cache hits, plan shape, verdict-memo
+  counters); ``bench --compare BASELINE CURRENT`` diffs two such documents
+  (reporting the median per-scenario speedup) and exits non-zero when a
+  regression exceeds ``--threshold``.  ``--no-memo`` disables the
+  cross-candidate verdict memo for A/B runs.
+* ``profile --suite NAME`` — run a suite in-process and write a
+  schema-versioned ``PROFILE_<suite>.json`` attributing wall time to
+  phases (labeling, SAT ordering, wait removal, memo probes).
 * ``cache-stats DIR`` — summarize an on-disk plan cache directory
   (entry count, bytes, cumulative hit/miss counters).
 
@@ -352,6 +357,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         granularity=args.granularity,
         timeout=args.timeout,
         portfolio=args.portfolio or (),
+        memoize=not args.no_memo,
     )
     service = SynthesisService(
         workers=0 if args.serial else args.workers,
@@ -430,6 +436,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         workers=0 if args.serial else args.workers,
         timeout=args.timeout,
         checker=args.checker,
+        memoize=not args.no_memo,
     )
     out_path = args.out or f"BENCH_{args.suite}.json"
     write_bench(document, out_path)
@@ -441,6 +448,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"wrote {out_path}")
     if document["totals"]["statuses"].get("error"):
         return EXIT_FAILURE
+    return EXIT_OK
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.perf.profile import format_profile_summary, run_profile, write_profile
+
+    document = run_profile(
+        args.suite,
+        quick=args.quick,
+        base_seed=args.seed,
+        memoize=not args.no_memo,
+        timeout=args.timeout,
+    )
+    out_path = args.out or f"PROFILE_{args.suite}.json"
+    write_profile(document, out_path)
+    if args.json:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(format_profile_summary(document))
+        print(f"wrote {out_path}")
     return EXIT_OK
 
 
@@ -495,6 +523,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="race these comma-separated checker backends per job")
     p_batch.add_argument("--cache-dir", default=None,
                          help="persist the plan cache to this directory")
+    p_batch.add_argument("--no-memo", action="store_true",
+                         help="disable the cross-candidate verdict memo")
     p_batch.add_argument("--no-plans", action="store_true",
                          help="omit plan bodies from the output stream")
     p_batch.add_argument("--stats", action="store_true",
@@ -543,9 +573,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="regression factor for --compare (default 2.0)")
     p_bench.add_argument("--min-seconds", type=float, default=0.02,
                          help="noise floor for --compare timings (default 0.02)")
+    p_bench.add_argument("--no-memo", action="store_true",
+                         help="disable the cross-candidate verdict memo "
+                              "(for memo A/B comparisons)")
     p_bench.add_argument("--json", action="store_true",
                          help="emit the document/comparison as JSON to stdout")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_profile = sub.add_parser(
+        "profile", help="attribute a suite's wall time to synthesis phases"
+    )
+    p_profile.add_argument("--suite", required=True,
+                           help="suite to profile (smoke, full, zoo)")
+    p_profile.add_argument("--quick", action="store_true",
+                           help="use the suite's scaled-down CI sizes")
+    p_profile.add_argument("--seed", type=int, default=0,
+                           help="base seed for scenario generation (default 0)")
+    p_profile.add_argument("--timeout", type=float, default=120.0,
+                           help="per-scenario timeout in seconds (default 120)")
+    p_profile.add_argument("--no-memo", action="store_true",
+                           help="profile with the verdict memo disabled")
+    p_profile.add_argument("--out", default=None,
+                           help="output path (default PROFILE_<suite>.json)")
+    p_profile.add_argument("--json", action="store_true",
+                           help="emit the document as JSON to stdout")
+    p_profile.set_defaults(fn=_cmd_profile)
 
     p_cache = sub.add_parser(
         "cache-stats", help="summarize an on-disk plan cache directory"

@@ -57,6 +57,15 @@ class KState:
     port: Optional[Port]
     tc: TrafficClass
 
+    def __hash__(self) -> int:
+        # states are hashed millions of times as dict keys across the label
+        # maps, pred sets, and memo keys; cache the (immutable) hash
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.kind, self.node, self.port, self.tc))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     @property
     def dropped(self) -> bool:
         return self.kind == "drop"

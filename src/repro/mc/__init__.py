@@ -1,5 +1,10 @@
 """Model checkers: incremental (the paper's §5), batch, and automaton-based.
 
+Paper mapping: §5.1 (labeling engine, :mod:`repro.mc.labeling`), §5.2
+(incremental relabeling, :mod:`repro.mc.incremental`), §6 baselines
+(:mod:`repro.mc.batch`, :mod:`repro.mc.automaton`, :mod:`repro.mc.symbolic`,
+:mod:`repro.mc.netplumber`).
+
 All checkers answer the same question — does every trace of the current
 Kripke structure from an initial state satisfy the specification? — but with
 different algorithms and different incremental behaviour:

@@ -1,5 +1,8 @@
 """Automata-theoretic batch LTL checker (the "NuSMV" baseline role).
 
+Paper mapping: one of the §6 baseline backends the incremental checker
+(§5.2) is measured against in the Figure 7 comparisons.
+
 Checks ``K |= phi`` by building (on the fly) the product of the Kripke
 structure with a tableau automaton for ``!phi`` and searching for an
 accepting lasso:

@@ -8,7 +8,7 @@ incrementality is measured (§6: Incremental beats Batch by ~4-12x).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.kripke.structure import KState, KripkeStructure
 from repro.ltl.syntax import Formula
@@ -21,11 +21,19 @@ class BatchChecker:
 
     name = "batch"
 
-    def __init__(self, structure: KripkeStructure, formula: Formula):
+    def __init__(
+        self,
+        structure: KripkeStructure,
+        formula: Formula,
+        engine: Optional[LabelEngine] = None,
+    ):
         self.structure = structure
-        self.engine = LabelEngine(formula)
+        self.engine = engine if engine is not None else LabelEngine(formula)
         self.relabel_count = 0
         self.check_count = 0
+
+    def note_states(self, states: Sequence[KState]) -> None:
+        """No-op memo hook: batch mode keeps no state between queries."""
 
     def full_check(self) -> CheckResult:
         labels: Dict[KState, Label] = {}

@@ -1,4 +1,4 @@
-"""The incremental LTL model checker (§5.2).
+"""The incremental LTL model checker (§5.2, ``incrModelCheck``).
 
 The checker keeps one label (a set of assignments, see
 :mod:`repro.mc.labeling`) per Kripke state.  After ``swUpdate`` changes the
@@ -7,13 +7,18 @@ its ancestors whose labels actually change are relabeled (``relbl``): the
 worklist is ordered by the structure's sink-distance rank, so every state is
 relabeled after its successors, and propagation stops as soon as a label is
 unchanged — the early-cutoff that gives the paper its speedups.
+
+Paper mapping: §5.2 (incremental relabeling) over the labeling engine of
+§5.1; this is the default backend the §4.1 search drives, and the one the
+cross-candidate verdict memo (:mod:`repro.perf`) instruments via
+:meth:`IncrementalChecker.note_states`.
 """
 
 from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.kripke.structure import KState, KripkeStructure
 from repro.ltl.syntax import Formula
@@ -26,9 +31,18 @@ class IncrementalChecker:
 
     name = "incremental"
 
-    def __init__(self, structure: KripkeStructure, formula: Formula):
+    def __init__(
+        self,
+        structure: KripkeStructure,
+        formula: Formula,
+        engine: Optional[LabelEngine] = None,
+    ):
         self.structure = structure
-        self.engine = LabelEngine(formula)
+        # engines are stateless with respect to the structure, so callers
+        # checking several structures against one formula (the search checks
+        # both endpoint configurations) share one engine — and with it the
+        # engine's atom and mask memos
+        self.engine = engine if engine is not None else LabelEngine(formula)
         self.labels: Dict[KState, Label] = {}
         self._ready = False
         # statistics
@@ -73,6 +87,19 @@ class IncrementalChecker:
                     if pred != state:
                         push(pred)
         return self._verdict()
+
+    def note_states(self, states: Sequence[KState]) -> None:
+        """Label ``states`` (and their successors) without a verdict.
+
+        Hook for the verdict memo's pruning path: when a candidate update is
+        refuted by a memoized verdict and immediately reverted, no relabel
+        cascade or verdict is needed — the structure is back in the state
+        the labels describe — but states *created* during the probe must
+        still get labels so later relabel cascades never meet an unlabeled
+        successor.  Already-labeled states are skipped in O(1).
+        """
+        for state in states:
+            self._ensure_labeled_down(state)
 
     def _ensure_labeled_down(self, state: KState) -> None:
         """Label ``state``'s (transitive) successors that have no label yet.

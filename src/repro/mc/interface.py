@@ -1,4 +1,9 @@
-"""Common checker interface and result record."""
+"""Common checker interface and result record.
+
+Paper mapping: the contract between the §4.1 search loop and the §5
+model checkers — ``full_check`` (initial labeling) and ``apply_update``
+(the incremental ``incrModelCheck`` entry point).
+"""
 
 from __future__ import annotations
 
@@ -45,12 +50,14 @@ class ModelChecker(Protocol):
         ...
 
 
-def make_checker(kind: str, structure, formula) -> "ModelChecker":
+def make_checker(kind: str, structure, formula, *, engine=None) -> "ModelChecker":
     """Construct a checker backend by name.
 
     ``kind`` is one of ``"incremental"``, ``"batch"``, ``"automaton"``
     (explicit-state product), ``"symbolic"`` (BDD-based, alias ``"nusmv"``),
-    or ``"netplumber"``.
+    or ``"netplumber"``.  ``engine`` optionally shares a prebuilt
+    :class:`~repro.mc.labeling.LabelEngine` (and its memos) with the
+    labeling-based backends; the others ignore it.
     """
     from repro.mc.automaton import AutomatonChecker
     from repro.mc.batch import BatchChecker
@@ -60,9 +67,9 @@ def make_checker(kind: str, structure, formula) -> "ModelChecker":
 
     kind = kind.lower()
     if kind == "incremental":
-        return IncrementalChecker(structure, formula)
+        return IncrementalChecker(structure, formula, engine=engine)
     if kind == "batch":
-        return BatchChecker(structure, formula)
+        return BatchChecker(structure, formula, engine=engine)
     if kind == "automaton":
         return AutomatonChecker(structure, formula)
     if kind in ("symbolic", "nusmv"):

@@ -1,5 +1,8 @@
 """The WVS-style labeling engine (§5.1), compiled to bitmask operations.
 
+Paper mapping: §5.1 (``Holds0``/``follows``, Figure 5) over the §3 LTL
+fragment; shared by the §5.2 incremental checker and the batch baseline.
+
 A maximally-consistent subset of the extended closure ``ecl(phi)`` contains,
 for every subformula ``psi``, exactly one of ``psi`` / ``!psi`` — i.e. it is a
 *truth assignment* over the positive closure ``cl(phi)``.  We represent an
@@ -104,8 +107,18 @@ class LabelEngine:
                 raise TypeError(f"unknown formula {f!r}")
         self._program: Tuple[Tuple[int, int, int], ...] = tuple(program)
         self._atom_cache: Dict[object, Tuple[bool, ...]] = {}
+        # cross-candidate mask memo: the program is a pure function of the
+        # state's atom valuation and the successor mask, and the search
+        # presents the same (valuation, mask) pairs over and over as it
+        # relabels sibling configurations — one dict probe replaces a full
+        # program run.  Bounded so adversarial formulas cannot grow it
+        # without limit (a clear restarts the memo, costing only recompute).
+        self._mask_cache: Dict[Tuple[Tuple[bool, ...], Optional[int]], int] = {}
+        self._mask_cache_max = 1 << 16
         # statistics: number of mask evaluations performed (work measure)
+        # and how many were answered from the memo instead
         self.evals = 0
+        self.memo_hits = 0
 
     # ------------------------------------------------------------------
     def atom_valuation(self, state) -> Tuple[bool, ...]:
@@ -118,8 +131,13 @@ class LabelEngine:
 
     def _run(self, state, succ_mask: Optional[Assignment]) -> Assignment:
         """Evaluate the program; ``succ_mask=None`` means sink (self-loop)."""
-        self.evals += 1
         atoms = self.atom_valuation(state)
+        memo_key = (atoms, succ_mask)
+        cached = self._mask_cache.get(memo_key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.evals += 1
         mask = 0
         bit = 1
         for i, (op, a, b) in enumerate(self._program):
@@ -155,6 +173,9 @@ class LabelEngine:
             if value:
                 mask |= bit
             bit <<= 1
+        if len(self._mask_cache) >= self._mask_cache_max:
+            self._mask_cache.clear()
+        self._mask_cache[memo_key] = mask
         return mask
 
     def sink_mask(self, state) -> Assignment:

@@ -1,5 +1,7 @@
 """NetPlumber-style checker backend: header-space flows + probe policies.
 
+Paper mapping: the §6 / Figure 7(d-f) NetPlumber comparison backend.
+
 This adapter exposes :class:`repro.hsa.plumber.PlumbingGraph` through the
 :class:`~repro.mc.interface.ModelChecker` protocol so the synthesis search
 can use it as a drop-in backend (the paper's Figure 7(d-f) comparison).

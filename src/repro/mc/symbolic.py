@@ -1,5 +1,7 @@
 """Symbolic (BDD-based) LTL model checker — the genuine NuSMV algorithm.
 
+Paper mapping: the §6 "NuSMV" baseline of Figure 7, reproduced natively.
+
 Checks ``K |= phi`` the way a symbolic model checker does:
 
 1. negate the property and build its tableau: one boolean *temporal*

@@ -36,6 +36,14 @@ class TrafficClass:
     name: str
     fields: Tuple[Tuple[FieldName, FieldValue], ...] = ()
 
+    def __hash__(self) -> int:
+        # nested inside every Kripke-state hash; cache the immutable value
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.name, self.fields))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     @staticmethod
     def make(name: str, **fields: FieldValue) -> "TrafficClass":
         return TrafficClass(name, _freeze(fields))

@@ -120,7 +120,7 @@ class Table:
     choice among equal-priority matches).
     """
 
-    __slots__ = ("_rules",)
+    __slots__ = ("_rules", "_hash")
 
     def __init__(self, rules: Iterable[Rule] = ()):
         # canonical order: priority descending, then a deterministic
@@ -128,6 +128,7 @@ class Table:
         # equal-priority choice (which the paper leaves free) is stable
         ordered = sorted(rules, key=lambda r: (-r.priority, str(r.pattern), str(r)))
         self._rules: Tuple[Rule, ...] = tuple(ordered)
+        self._hash: Optional[int] = None
 
     @property
     def rules(self) -> Tuple[Rule, ...]:
@@ -145,7 +146,11 @@ class Table:
         return self._rules == other._rules
 
     def __hash__(self) -> int:
-        return hash(self._rules)
+        # tables key the reached-state memo and the wait-removal edge cache;
+        # the rule tuple never changes, so hash once
+        if self._hash is None:
+            self._hash = hash(self._rules)
+        return self._hash
 
     def lookup(self, packet: Packet, port: int) -> Optional[Rule]:
         """The highest-priority rule matching ``(packet, port)``, if any."""

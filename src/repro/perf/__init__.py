@@ -1,0 +1,38 @@
+"""Cross-candidate performance layer: verdict memoization and profiling.
+
+The synthesis search explores many *closely related* configurations — sibling
+branches of the same search tree, and (through the batch service) sibling
+jobs on the same topology.  This package makes that relatedness pay:
+
+* :mod:`repro.perf.fingerprint` — content-addressed fingerprints of the
+  *reached* network state, extending the canonicalization rules of
+  :mod:`repro.service.fingerprint` from whole problems down to individual
+  intermediate configurations;
+* :mod:`repro.perf.memo` — the verdict memo: model-checker verdicts keyed by
+  reached-state fingerprint, plus dominance pruning that re-applies stored
+  counterexample traces to skip provably-refuted candidates without a
+  model-checker call;
+* :mod:`repro.perf.profile` — the ``repro profile`` harness: per-phase wall
+  time attribution (labeling, SAT ordering, wait removal, memo probes)
+  emitted as a schema-versioned ``PROFILE_<suite>.json``.
+
+See ``docs/ARCHITECTURE.md`` for where this layer sits in the stack.
+"""
+
+from repro.perf.fingerprint import (
+    config_fingerprint,
+    reached_state_key,
+    scope_fingerprint,
+    table_fingerprint,
+)
+from repro.perf.memo import MemoStats, SharedVerdictMemo, VerdictMemo
+
+__all__ = [
+    "MemoStats",
+    "SharedVerdictMemo",
+    "VerdictMemo",
+    "config_fingerprint",
+    "reached_state_key",
+    "scope_fingerprint",
+    "table_fingerprint",
+]

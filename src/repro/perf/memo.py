@@ -1,0 +1,262 @@
+"""The cross-candidate verdict memo and dominance pruning.
+
+The search loop (:func:`repro.synthesis.search.order_update`) model-checks
+one intermediate configuration per candidate step.  Verdicts are pure
+functions of the reached network state
+(:func:`repro.perf.fingerprint.reached_state_key`), so a
+:class:`VerdictMemo` shares them across every candidate that reaches the
+same state — sibling branches of the search tree, and (via
+:class:`SharedVerdictMemo` in the batch service) sibling jobs on the same
+topology, ingress map, and specification.
+
+Two mechanisms, both *sound* (they only ever reject configurations a
+model checker would also reject, so memo-on and memo-off searches accept
+the identical sequence of units and synthesize identical plans):
+
+* **verdict memoization** — ``record``/``lookup`` keyed by reached-state
+  key.  A refuted hit replays the stored counterexample instead of
+  relabeling; the checker call is skipped entirely.
+* **dominance pruning** — refuted counterexample *traces* are kept (most
+  recent first).  A candidate whose reached state still embeds a stored
+  refuted trace is dominated by the already-refuted state: the violating
+  trace is present, so the verdict must again be "violated".  This is the
+  cheap sufficient condition for state-set subsumption — checking that one
+  concrete witness carries over costs ``O(len(trace))`` instead of a
+  subset test over whole state sets.
+
+>>> memo = VerdictMemo()
+>>> memo.record(("key",), ok=True)
+>>> memo.lookup(("key",)).ok
+True
+>>> memo.lookup(("other",)) is None
+True
+>>> memo.stats.probes, memo.stats.hits
+(2, 1)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Hashable, Optional, Sequence, Set, Tuple
+
+from repro.perf.fingerprint import scope_fingerprint
+
+#: bound on stored refuted traces per memo (dominance replay scans these)
+MAX_REFUTED_TRACES = 64
+
+#: how many stored traces one probe replays (most recent first); keeps the
+#: probe O(small) even when the trace store is full
+REPLAY_SCAN_LIMIT = 8
+
+#: bound on memoized verdict entries per memo
+MAX_VERDICTS = 65536
+
+
+@dataclass
+class MemoStats:
+    """Cumulative counters for one verdict memo (or a whole shared pool)."""
+
+    probes: int = 0
+    hits: int = 0
+    refuted_hits: int = 0
+    trace_prunes: int = 0
+    inserts: int = 0
+
+    @property
+    def checks_skipped(self) -> int:
+        """Model-checker calls avoided (refuted hits + dominance prunes)."""
+        return self.refuted_hits + self.trace_prunes
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "probes": self.probes,
+            "hits": self.hits,
+            "refuted_hits": self.refuted_hits,
+            "trace_prunes": self.trace_prunes,
+            "inserts": self.inserts,
+            "checks_skipped": self.checks_skipped,
+        }
+
+    def absorb(self, other: "MemoStats") -> None:
+        self.probes += other.probes
+        self.hits += other.hits
+        self.refuted_hits += other.refuted_hits
+        self.trace_prunes += other.trace_prunes
+        self.inserts += other.inserts
+
+
+@dataclass(frozen=True)
+class MemoVerdict:
+    """One memoized model-checking verdict.
+
+    ``trace`` is the counterexample witnessing a refutation (a tuple of
+    Kripke states ending at a sink), kept so a refuted hit can feed the
+    search's counterexample learning exactly like a live checker verdict.
+    """
+
+    ok: bool
+    trace: Optional[Tuple[Any, ...]] = None
+
+
+class VerdictMemo:
+    """Model-checker verdicts memoized by reached-state key.
+
+    One memo covers one *scope*: a fixed topology, ingress map, and
+    specification (see :func:`repro.perf.fingerprint.scope_fingerprint`).
+    Within a scope, reached-state keys fully determine verdicts.
+
+    Invalidation is structural: mutating the network (``apply_update``)
+    changes the reached-state key, so stale entries are simply never looked
+    up again — there is nothing to evict eagerly, and reverted
+    configurations re-hit their old entries for free.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_verdicts: int = MAX_VERDICTS,
+        max_traces: int = MAX_REFUTED_TRACES,
+        shared: bool = False,
+    ):
+        #: whether this memo outlives one search (a pool hands it to many
+        #: jobs); endpoint-configuration verdicts are only worth recording
+        #: and probing when they can be seen again by a sibling job
+        self.shared = shared
+        self._verdicts: "OrderedDict[Hashable, MemoVerdict]" = OrderedDict()
+        self._refuted_traces: Deque[Tuple[Any, ...]] = deque(maxlen=max_traces)
+        self._trace_set: Set[Tuple[Any, ...]] = set()
+        self._max_verdicts = max_verdicts
+        self._refuted_recorded = 0
+        self.stats = MemoStats()
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    @property
+    def has_refutations(self) -> bool:
+        """Whether probing can possibly skip a model-checker call.
+
+        Only refuted verdicts and stored traces ever settle a candidate
+        without the checker (an ``ok`` hit still needs the relabel to keep
+        the incremental labels warm), so callers skip the probe — and its
+        key-building cost — until the first refutation is recorded.
+        """
+        return self._refuted_recorded > 0 or bool(self._refuted_traces)
+
+    # ------------------------------------------------------------------
+    # verdict memoization
+    # ------------------------------------------------------------------
+    def lookup(self, key: Hashable) -> Optional[MemoVerdict]:
+        """The memoized verdict for ``key``, or ``None`` on a miss."""
+        self.stats.probes += 1
+        verdict = self._verdicts.get(key)
+        if verdict is None:
+            return None
+        self._verdicts.move_to_end(key)
+        self.stats.hits += 1
+        if not verdict.ok:
+            self.stats.refuted_hits += 1
+        return verdict
+
+    def record(
+        self, key: Hashable, ok: bool, trace: Optional[Sequence[Any]] = None
+    ) -> None:
+        """Memoize a verdict; refuting traces also join the dominance store.
+
+        Only complete violating traces (ending at a sink state) are kept for
+        replay — forwarding-loop cycles are rejected before the checker runs
+        and never produce a maximal trace.
+        """
+        stored: Optional[Tuple[Any, ...]] = None
+        if not ok:
+            self._refuted_recorded += 1
+            if trace:
+                stored = tuple(trace)
+                if getattr(stored[-1], "is_sink", False):
+                    self._remember_trace(stored)
+                else:
+                    stored = None
+        self._verdicts[key] = MemoVerdict(ok, stored)
+        self._verdicts.move_to_end(key)
+        self.stats.inserts += 1
+        while len(self._verdicts) > self._max_verdicts:
+            self._verdicts.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # dominance pruning
+    # ------------------------------------------------------------------
+    def _remember_trace(self, trace: Tuple[Any, ...]) -> None:
+        if trace in self._trace_set:
+            return
+        if len(self._refuted_traces) == self._refuted_traces.maxlen:
+            # appendleft evicts from the *right* end — drop the oldest
+            # trace's dedup entry, not the most recent one's
+            self._trace_set.discard(self._refuted_traces[-1])
+        self._refuted_traces.appendleft(trace)
+        self._trace_set.add(trace)
+
+    def find_refuting_trace(self, structure) -> Optional[Tuple[Any, ...]]:
+        """A stored refuted trace embedded in ``structure``, if any.
+
+        A trace carries over when its start is still an initial state and
+        every step is still a transition; the trace then violates the
+        specification in the current configuration too (atoms are intrinsic
+        to states and the trace stays maximal — it ends at a sink, and
+        sinks keep their self-loop).  Most recently learned traces are
+        tried first: the search refutes runs of similar siblings.
+        """
+        for scanned, trace in enumerate(self._refuted_traces):
+            if scanned >= REPLAY_SCAN_LIMIT:
+                break
+            if self._trace_embedded(structure, trace):
+                self.stats.trace_prunes += 1
+                return trace
+        return None
+
+    @staticmethod
+    def _trace_embedded(structure, trace: Tuple[Any, ...]) -> bool:
+        if not trace or trace[0] not in structure.initial_states:
+            return False
+        for a, b in zip(trace, trace[1:]):
+            if a not in structure or b not in structure.succ(a):
+                return False
+        return True
+
+
+class SharedVerdictMemo:
+    """A pool of :class:`VerdictMemo` instances keyed by memo scope.
+
+    The batch service holds one pool per service instance; jobs that agree
+    on topology, ingresses, and specification share a memo, so refuted
+    traces learned by one job prune candidates in the next.  Process-local
+    by design: worker-pool executions each build their own (the memo is
+    warm *within* a worker, cold across them), while serial in-process
+    batches share fully.
+    """
+
+    def __init__(self, *, max_scopes: int = 256):
+        self._scopes: "OrderedDict[str, VerdictMemo]" = OrderedDict()
+        self._max_scopes = max_scopes
+
+    def __len__(self) -> int:
+        return len(self._scopes)
+
+    def memo_for(self, topology, spec, ingresses) -> VerdictMemo:
+        """The (created-on-demand) memo for one scope."""
+        scope = scope_fingerprint(topology, spec, ingresses)
+        memo = self._scopes.get(scope)
+        if memo is None:
+            memo = VerdictMemo(shared=True)
+            self._scopes[scope] = memo
+            while len(self._scopes) > self._max_scopes:
+                self._scopes.popitem(last=False)
+        self._scopes.move_to_end(scope)
+        return memo
+
+    def stats(self) -> MemoStats:
+        """Aggregated counters over every scope in the pool."""
+        total = MemoStats()
+        for memo in self._scopes.values():
+            total.absorb(memo.stats)
+        return total

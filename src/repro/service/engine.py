@@ -38,6 +38,7 @@ from repro.net.serialize import (
     problem_from_dict,
     problem_to_dict,
 )
+from repro.perf.memo import SharedVerdictMemo
 from repro.service.cache import PlanCache
 from repro.service.jobs import JobResult, JobStatus, SynthesisJob, SynthesisOptions
 from repro.service.metrics import ServiceMetrics
@@ -53,12 +54,18 @@ _GroupKey = Tuple[str, Optional[float]]
 
 
 def _execute_payload(
-    problem_data: Dict[str, Any], options_data: Dict[str, Any], backend: str
+    problem_data: Dict[str, Any],
+    options_data: Dict[str, Any],
+    backend: str,
+    memo_pool: Optional[SharedVerdictMemo] = None,
 ) -> Dict[str, Any]:
     """Run one synthesis attempt; always returns a JSON-safe result dict.
 
     This is the worker-process entry point — it must stay module-level (for
     pickling) and must never raise (errors become ``status="error"``).
+    ``memo_pool`` shares model-checker verdicts across jobs with identical
+    topology, ingresses, and spec; it is only passed on the in-process
+    serial path (worker processes keep their own per-job memos).
     """
     from repro.net.serialize import plan_to_dict  # local: after fork/spawn
 
@@ -75,6 +82,8 @@ def _execute_payload(
             use_reachability_heuristic=options_data.get(
                 "use_reachability_heuristic", True
             ),
+            memoize=options_data.get("memoize", True),
+            memo_pool=memo_pool,
         )
         plan = synth.synthesize(
             problem.init,
@@ -160,6 +169,10 @@ class SynthesisService:
         self.cache = cache or PlanCache(cache_capacity, cache_dir)
         self.default_options = default_options or SynthesisOptions()
         self.metrics = metrics or ServiceMetrics()
+        # cross-job verdict memo: jobs on the same topology/ingresses/spec
+        # share refuted traces and verdicts (serial in-process path only —
+        # worker processes cannot share in-memory state)
+        self.verdict_memo = SharedVerdictMemo()
         self._pending: List[SynthesisJob] = []
         self._last_order: List[str] = []
         self._ids = itertools.count(1)
@@ -266,6 +279,9 @@ class SynthesisService:
         out = self.metrics.as_dict()
         out["cache"] = self.cache_stats()
         out["workers"] = self.workers
+        out["verdict_memo"] = dict(
+            self.verdict_memo.stats().as_dict(), scopes=len(self.verdict_memo)
+        )
         return out
 
     # ------------------------------------------------------------------
@@ -277,7 +293,11 @@ class SynthesisService:
     ) -> List[Tuple[str, Dict[str, Any], Dict[str, Any]]]:
         """(backend, problem_dict, options_dict) per portfolio entry."""
         problem_data = problem_to_dict(job.problem)
-        options_data = dict(job.options.identity_dict(), timeout=job.options.timeout)
+        options_data = dict(
+            job.options.identity_dict(),
+            timeout=job.options.timeout,
+            memoize=job.options.memoize,
+        )
         return [
             (backend, problem_data, options_data)
             for backend in job.options.backends()
@@ -291,7 +311,9 @@ class SynthesisService:
             group[0].status = JobStatus.RUNNING
             attempts: List[Dict[str, Any]] = []
             for backend, problem_data, options_data in self._group_payloads(group[0]):
-                res = _execute_payload(problem_data, options_data, backend)
+                res = _execute_payload(
+                    problem_data, options_data, backend, memo_pool=self.verdict_memo
+                )
                 attempts.append(res)
                 if res["status"] in _DEFINITIVE:
                     break

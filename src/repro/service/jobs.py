@@ -42,7 +42,10 @@ class SynthesisOptions:
     non-empty it supersedes ``checker`` and the first backend to produce a
     definitive verdict (a plan, or a proof of infeasibility) wins.
     ``timeout`` is a per-job budget in seconds; it is *not* part of the
-    cache identity (see :mod:`repro.service.fingerprint`).
+    cache identity (see :mod:`repro.service.fingerprint`).  ``memoize``
+    toggles the cross-candidate verdict memo (:mod:`repro.perf`); it is
+    also excluded from the identity because memoization is
+    verdict-preserving — the same plan is synthesized either way.
     """
 
     checker: str = "incremental"
@@ -53,6 +56,7 @@ class SynthesisOptions:
     use_reachability_heuristic: bool = True
     timeout: Optional[float] = None
     portfolio: Tuple[str, ...] = ()
+    memoize: bool = True
 
     def backends(self) -> Tuple[str, ...]:
         """The checker backends this job will try (portfolio or singleton)."""

@@ -1,4 +1,10 @@
-"""Update synthesis: the ORDERUPDATE algorithm and its optimizations (§4)."""
+"""Update synthesis: the ORDERUPDATE algorithm and its optimizations (§4).
+
+Paper mapping: §4.1 (search, :mod:`repro.synthesis.search`), §4.2.A
+(counterexample pruning, :mod:`repro.synthesis.pruning`), §4.2.B (early
+termination, :mod:`repro.synthesis.ordering`), §4.2.C (wait removal,
+:mod:`repro.synthesis.waits`), §8 future work (:mod:`repro.synthesis.robust`).
+"""
 
 from repro.synthesis.plan import SearchStats, UpdatePlan
 from repro.synthesis.pruning import ConfigKey, WrongConfigs, make_formula

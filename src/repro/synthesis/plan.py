@@ -1,4 +1,9 @@
-"""Update plans: the output of synthesis."""
+"""Update plans: the output of synthesis.
+
+Paper mapping: the command sequences of §2/§4 (updates interleaved with
+``wait``), plus the work counters the §6 evaluation and the ``repro
+profile`` harness report.
+"""
 
 from __future__ import annotations
 
@@ -23,6 +28,16 @@ class SearchStats:
     waits_after_removal: int = 0
     wait_removal_seconds: float = 0.0
     synthesis_seconds: float = 0.0
+    # cross-candidate verdict memo (repro.perf): probe/hit counters and the
+    # number of candidate steps settled without a model-checker call
+    memo_probes: int = 0
+    memo_hits: int = 0
+    memo_pruned: int = 0
+    # per-phase wall time, attributed by the search loop and reported by
+    # the `repro profile` harness
+    labeling_seconds: float = 0.0
+    sat_seconds: float = 0.0
+    memo_seconds: float = 0.0
 
     def merge(self, other: "SearchStats") -> None:
         self.model_checks += other.model_checks
@@ -31,6 +46,12 @@ class SearchStats:
         self.pruned_wrong += other.pruned_wrong
         self.loops_rejected += other.loops_rejected
         self.backtracks += other.backtracks
+        self.memo_probes += other.memo_probes
+        self.memo_hits += other.memo_hits
+        self.memo_pruned += other.memo_pruned
+        self.labeling_seconds += other.labeling_seconds
+        self.sat_seconds += other.sat_seconds
+        self.memo_seconds += other.memo_seconds
 
 
 @dataclass

@@ -1,4 +1,4 @@
-"""The ORDERUPDATE synthesis algorithm (§4, Figure 4).
+"""The ORDERUPDATE synthesis algorithm (§4.1, Figure 4).
 
 Depth-first search over simple update sequences (each unit updated at most
 once), model checking every intermediate configuration with a pluggable
@@ -6,32 +6,58 @@ backend, and pruning with:
 
 * ``V`` — configurations already visited (memoized subsets);
 * ``W`` — wrong-configuration patterns learned from counterexamples
-  (:mod:`repro.synthesis.pruning`);
+  (:mod:`repro.synthesis.pruning`, §4.2.A);
 * early termination — ordering constraints fed to an incremental SAT solver
-  (:mod:`repro.synthesis.ordering`);
+  (:mod:`repro.synthesis.ordering`, §4.2.B);
 * a reachability heuristic that tries currently-unreachable switches first
-  (they can never break a trace-based property).
+  (they can never break a trace-based property);
+* the cross-candidate verdict memo (:mod:`repro.perf`) — model-checker
+  verdicts keyed by reached-state fingerprint, shared across sibling
+  branches (and, via the batch service, across jobs on the same topology
+  and spec), plus dominance pruning that replays stored refuted
+  counterexample traces to skip provably-violating candidates without a
+  checker call.
 
 Backtracking re-applies the previous table, which is just another
 incremental update, so the checker's labeling stays warm in both directions.
 The algorithm is sound (Theorem 1) and complete for simple careful sequences
-(Theorem 2); both are exercised by the test suite.
+(Theorem 2); both are exercised by the test suite.  All pruning — including
+the memo — only ever rejects configurations an exact checker would also
+reject, so the accepted unit sequence (and hence the plan) is identical
+with and without memoization.
+
+The search attributes its wall time to phases (labeling, SAT ordering, memo
+probes) in :class:`~repro.synthesis.plan.SearchStats`; the ``repro profile``
+harness aggregates these per suite.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import ForwardingLoopError, SynthesisTimeout, UpdateInfeasibleError
 from repro.kripke.structure import KripkeStructure, rule_covers_class
 from repro.ltl.syntax import Formula
 from repro.mc.interface import make_checker
+from repro.mc.labeling import LabelEngine
 from repro.net.commands import Command, RuleGranUpdate, SwitchUpdate, Wait
 from repro.net.config import Configuration
 from repro.net.fields import TrafficClass
 from repro.net.rules import Table
 from repro.net.topology import NodeId, Topology
+from repro.perf.fingerprint import reached_class_component, reached_state_key
+from repro.perf.memo import VerdictMemo
 from repro.synthesis.ordering import OrderingConstraints
 from repro.synthesis.plan import SearchStats, UpdatePlan
 from repro.synthesis.pruning import WrongConfigs, make_formula
@@ -64,6 +90,12 @@ def _compute_units(
     return units
 
 
+def _infeasible(message: str, stats: SearchStats, reason: str = "search"):
+    err = UpdateInfeasibleError(message, reason=reason)
+    err.stats = stats  # let harnesses (repro profile) read the phase timers
+    return err
+
+
 def order_update(
     topology: Topology,
     init: Configuration,
@@ -77,6 +109,7 @@ def order_update(
     use_early_termination: bool = True,
     use_reachability_heuristic: bool = True,
     timeout: Optional[float] = None,
+    memo: Optional[VerdictMemo] = None,
 ) -> UpdatePlan:
     """Synthesize a careful update sequence from ``init`` to ``final``.
 
@@ -84,6 +117,11 @@ def order_update(
     ``final`` such that every intermediate configuration satisfies ``spec``.
     Raises :class:`UpdateInfeasibleError` if no simple careful sequence
     exists, :class:`SynthesisTimeout` on budget exhaustion.
+
+    ``memo`` is an optional :class:`~repro.perf.memo.VerdictMemo` scoped to
+    this (topology, ingresses, spec); passing one memo to several searches
+    shares verdicts across them.  Memoization is verdict-preserving: the
+    synthesized plan is identical with ``memo=None``.
     """
     start = time.monotonic()
     stats = SearchStats()
@@ -92,38 +130,67 @@ def order_update(
 
     def check_deadline() -> None:
         if timeout is not None and time.monotonic() - start > timeout:
-            raise SynthesisTimeout(f"synthesis exceeded {timeout}s budget")
+            err = SynthesisTimeout(f"synthesis exceeded {timeout}s budget")
+            err.stats = stats
+            raise err
 
     units = _compute_units(init, final, classes, granularity)
     all_units: FrozenSet[Unit] = frozenset(units)
+
+    # one labeling engine for both endpoint checks and the whole search:
+    # engines are structure-independent and carry the atom/mask memos
+    engine = LabelEngine(spec)
 
     # the final configuration must itself satisfy the spec
     try:
         final_structure = KripkeStructure(topology, final, ingresses)
     except ForwardingLoopError as exc:
-        raise UpdateInfeasibleError(
-            f"final configuration has a forwarding loop: {exc}"
+        raise _infeasible(
+            f"final configuration has a forwarding loop: {exc}", stats
         ) from exc
-    final_checker = make_checker("incremental", final_structure, spec)
-    stats.model_checks += 1
-    if not final_checker.full_check().ok:
-        raise UpdateInfeasibleError("final configuration violates the specification")
+    final_ok: Optional[bool] = None
+    final_key = None
+    # endpoint verdicts only pay off for pooled memos: a private memo dies
+    # with this search, before any sibling could re-reach the endpoint keys
+    memo_endpoints = memo is not None and memo.shared
+    if memo_endpoints:
+        probe_start = time.perf_counter()
+        final_key = reached_state_key(final_structure)
+        entry = memo.lookup(final_key)
+        stats.memo_probes += 1
+        stats.memo_seconds += time.perf_counter() - probe_start
+        if entry is not None:
+            stats.memo_hits += 1
+            final_ok = entry.ok
+    if final_ok is None:
+        final_checker = make_checker("incremental", final_structure, spec, engine=engine)
+        stats.model_checks += 1
+        phase_start = time.perf_counter()
+        final_ok = final_checker.full_check().ok
+        stats.labeling_seconds += time.perf_counter() - phase_start
+        if memo_endpoints:
+            memo.record(final_key, final_ok)
+    if not final_ok:
+        raise _infeasible("final configuration violates the specification", stats)
 
     try:
         structure = KripkeStructure(topology, init, ingresses)
     except ForwardingLoopError as exc:
-        raise UpdateInfeasibleError(
-            f"initial configuration has a forwarding loop: {exc}"
+        raise _infeasible(
+            f"initial configuration has a forwarding loop: {exc}", stats
         ) from exc
     # `checker` is a backend name, or a factory (structure, spec) -> checker
     # (used by the benchmarks to instrument two backends on one query stream)
     if isinstance(checker, str):
-        backend = make_checker(checker, structure, spec)
+        backend = make_checker(checker, structure, spec, engine=engine)
     else:
         backend = checker(structure, spec)
     stats.model_checks += 1
-    if not backend.full_check().ok:
-        raise UpdateInfeasibleError("initial configuration violates the specification")
+    phase_start = time.perf_counter()
+    init_ok = backend.full_check().ok
+    stats.labeling_seconds += time.perf_counter() - phase_start
+    if not init_ok:
+        raise _infeasible("initial configuration violates the specification", stats)
 
     if not units:
         stats.synthesis_seconds = time.monotonic() - start
@@ -135,15 +202,70 @@ def order_update(
     updated: Set[Unit] = set()
     path: List[Unit] = []
     rule_gran = granularity == "rule"
+    # the memo's pruning path reverts an update without the checker seeing
+    # it, which is only coherent for backends exposing the note_states hook
+    memo_active = memo is not None and hasattr(backend, "note_states")
+
+    # per-class reachability, shared by the candidate heuristic and the
+    # reached-state memo key; an entry is dropped whenever an update dirties
+    # a state of that class (no other update can change the class's walk)
+    reach_cache: Dict[str, FrozenSet[NodeId]] = {}
+    # per-class reached-state key components (same shape as
+    # reached_state_key produces); invalidated when the class's reach can
+    # change *or* a reachable switch's table changes
+    key_cache: Dict[str, Tuple[str, FrozenSet]] = {}
+
+    def reachable(tc: TrafficClass) -> FrozenSet[NodeId]:
+        reach = reach_cache.get(tc.name)
+        if reach is None:
+            reach = structure.reachable_switches(tc)
+            reach_cache[tc.name] = reach
+        return reach
+
+    def current_state_key():
+        config = structure.config
+        parts = []
+        for tc in classes:
+            component = key_cache.get(tc.name)
+            if component is None:
+                component = reached_class_component(
+                    tc.name, reachable(tc), config
+                )
+                key_cache[tc.name] = component
+            parts.append(component)
+        return tuple(parts)
+
+    def record_init_verdict() -> None:
+        if not memo_endpoints:
+            return
+        probe_start = time.perf_counter()
+        memo.record(current_state_key(), True)
+        stats.memo_seconds += time.perf_counter() - probe_start
+
+    record_init_verdict()
 
     # ------------------------------------------------------------------
     def apply_unit(unit: Unit, target: Configuration) -> List:
         """Move ``unit`` to its table in ``target``; return dirty states."""
+        switch = unit[0] if rule_gran else unit
+        # a class's key component survives the update only if the class
+        # provably cannot reach the switch and none of its states moved
+        fresh = {
+            name for name, reach in reach_cache.items() if switch not in reach
+        }
         if rule_gran:
-            switch, tc_name = unit
+            _, tc_name = unit
             tc = class_by_name[tc_name]
-            return structure.update_class_rules(switch, tc, target.table(switch))
-        return structure.update_switch(unit, target.table(unit))
+            dirty = structure.update_class_rules(switch, tc, target.table(switch))
+        else:
+            dirty = structure.update_switch(unit, target.table(unit))
+        for state in dirty:
+            fresh.discard(state.tc.name)
+            reach_cache.pop(state.tc.name, None)
+        for name in list(key_cache):
+            if name not in fresh:
+                key_cache.pop(name)
+        return dirty
 
     def handle_violation(cex, key: FrozenSet[Unit]) -> None:
         if cex is None or not use_counterexamples:
@@ -152,41 +274,78 @@ def order_update(
         pattern = make_formula(cex, key, all_units, rule_gran)
         wrong.add(pattern)
         if use_early_termination:
-            ordering.add_counterexample(
-                [u for u, flag in pattern if flag],
-                [u for u, flag in pattern if not flag],
-            )
-            # feasibility is re-solved incrementally, but on large feasible
-            # instances the checks are pure overhead: back off once many
-            # constraints have accumulated without a contradiction
-            added = ordering.constraints_added
-            if added > 64 and added % 16 != 0:
-                return
-            if not ordering.feasible():
-                stats.sat_terminated = True
-                raise UpdateInfeasibleError(
-                    "ordering constraints are unsatisfiable: no simple "
-                    "update sequence exists",
-                    reason="sat",
+            phase_start = time.perf_counter()
+            try:
+                ordering.add_counterexample(
+                    [u for u, flag in pattern if flag],
+                    [u for u, flag in pattern if not flag],
                 )
+                # feasibility is re-solved incrementally, but on large feasible
+                # instances the checks are pure overhead: back off once many
+                # constraints have accumulated without a contradiction
+                added = ordering.constraints_added
+                if added > 64 and added % 16 != 0:
+                    return
+                if not ordering.feasible():
+                    stats.sat_terminated = True
+                    raise _infeasible(
+                        "ordering constraints are unsatisfiable: no simple "
+                        "update sequence exists",
+                        stats,
+                        reason="sat",
+                    )
+            finally:
+                stats.sat_seconds += time.perf_counter() - phase_start
 
     def candidates() -> List[Unit]:
         remaining = [u for u in units if u not in updated]
         if not use_reachability_heuristic:
             return remaining
-        reachable: Dict[str, FrozenSet[NodeId]] = {
-            tc.name: structure.reachable_switches(tc) for tc in classes
-        }
+        reach_by_name = {tc.name: reachable(tc) for tc in classes}
 
         def sort_key(unit: Unit) -> Tuple[int, str]:
             if rule_gran:
                 switch, tc_name = unit
-                hot = switch in reachable[tc_name]
+                hot = switch in reach_by_name[tc_name]
             else:
-                hot = any(unit in r for r in reachable.values())
+                hot = any(unit in r for r in reach_by_name.values())
             return (1 if hot else 0, str(unit))
 
         return sorted(remaining, key=sort_key)
+
+    def probe_memo():
+        """Probe the memo for a refutation of the just-updated structure.
+
+        Returns ``(refuted, trace_or_None)``: ``refuted`` means the
+        candidate is settled as violating without a model-checker call
+        (``trace`` feeds counterexample learning when available).  Only
+        called once the memo holds refutation knowledge — ``ok`` hits
+        cannot skip work, so probing earlier is pure overhead.
+        """
+        probe_start = time.perf_counter()
+        try:
+            key = current_state_key()
+            stats.memo_probes += 1
+            entry = memo.lookup(key)
+            if entry is not None:
+                stats.memo_hits += 1
+                if not entry.ok:
+                    return True, entry.trace or memo.find_refuting_trace(structure)
+                return False, None
+            # dominance: does a previously refuted trace still carry over?
+            trace = memo.find_refuting_trace(structure)
+            if trace is not None:
+                memo.record(key, False, trace)
+                return True, trace
+            return False, None
+        finally:
+            stats.memo_seconds += time.perf_counter() - probe_start
+
+    def record_refutation(cex) -> None:
+        """Memoize a checker refutation under the current state key."""
+        record_start = time.perf_counter()
+        memo.record(current_state_key(), False, cex)
+        stats.memo_seconds += time.perf_counter() - record_start
 
     # ------------------------------------------------------------------
     stack: List[List[Unit]] = [candidates()]
@@ -199,7 +358,9 @@ def order_update(
                 unit = path.pop()
                 updated.discard(unit)
                 dirty = apply_unit(unit, init)
+                phase_start = time.perf_counter()
                 backend.apply_update(dirty)
+                stats.labeling_seconds += time.perf_counter() - phase_start
                 stats.backtracks += 1
             continue
         unit = frame.pop(0)
@@ -217,15 +378,37 @@ def order_update(
             visited.add(key)
             handle_violation(exc.cycle, key)
             revert_dirty = apply_unit(unit, init)
+            phase_start = time.perf_counter()
             backend.apply_update(revert_dirty)
+            stats.labeling_seconds += time.perf_counter() - phase_start
             continue
+        if memo_active and memo.has_refutations:
+            refuted, refuting_trace = probe_memo()
+            if refuted:
+                # settled without the checker: learn from the stored trace,
+                # revert, and only label any states the probe created
+                stats.memo_pruned += 1
+                visited.add(key)
+                handle_violation(refuting_trace, key)
+                revert_dirty = apply_unit(unit, init)
+                phase_start = time.perf_counter()
+                backend.note_states(dirty)
+                backend.note_states(revert_dirty)
+                stats.labeling_seconds += time.perf_counter() - phase_start
+                continue
+        phase_start = time.perf_counter()
         result = backend.apply_update(dirty)
+        stats.labeling_seconds += time.perf_counter() - phase_start
         stats.model_checks += 1
         visited.add(key)
         if not result.ok:
+            if memo_active:
+                record_refutation(result.counterexample)
             handle_violation(result.counterexample, key)
             revert_dirty = apply_unit(unit, init)
+            phase_start = time.perf_counter()
             backend.apply_update(revert_dirty)
+            stats.labeling_seconds += time.perf_counter() - phase_start
             continue
         updated.add(unit)
         path.append(unit)
@@ -235,8 +418,8 @@ def order_update(
         stack.append(candidates())
 
     stats.synthesis_seconds = time.monotonic() - start
-    raise UpdateInfeasibleError(
-        "exhausted the space of simple careful update sequences", reason="search"
+    raise _infeasible(
+        "exhausted the space of simple careful update sequences", stats
     )
 
 

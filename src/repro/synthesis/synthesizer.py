@@ -1,12 +1,14 @@
 """Public synthesis façade.
 
 :class:`UpdateSynthesizer` ties the pieces together: build the Kripke
-structure for the initial configuration, run :func:`~repro.synthesis.search.order_update`
-with the chosen checker backend and granularity, then post-process with the
-wait-removal heuristic.  This is the entry point examples and benchmarks use:
+structure for the initial configuration, run
+:func:`~repro.synthesis.search.order_update` (§4.1) with the chosen checker
+backend, granularity, and cross-candidate verdict memo (:mod:`repro.perf`),
+then post-process with the wait-removal heuristic (§4.2.C).  This is the
+entry point examples, the batch service, and the benchmarks use::
 
-    >>> synth = UpdateSynthesizer(topology)
-    >>> plan = synth.synthesize(init, final, spec, ingresses)
+    synth = UpdateSynthesizer(topology)
+    plan = synth.synthesize(init, final, spec, ingresses)
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from repro.ltl.syntax import Formula
 from repro.net.config import Configuration
 from repro.net.fields import TrafficClass
 from repro.net.topology import NodeId, Topology
+from repro.perf.memo import SharedVerdictMemo, VerdictMemo
 from repro.synthesis.plan import UpdatePlan
 from repro.synthesis.search import order_update
 from repro.synthesis.waits import remove_waits
@@ -34,6 +37,14 @@ class UpdateSynthesizer:
         use_counterexamples: learn wrong-configuration patterns (§4.2.A).
         use_early_termination: SAT-based infeasibility shortcut (§4.2.B).
         use_reachability_heuristic: try unreachable switches first.
+        memoize: enable the cross-candidate verdict memo (:mod:`repro.perf`).
+            Verdict-preserving — plans are identical either way; only the
+            amount of model-checking work changes.
+        memo_pool: an optional :class:`~repro.perf.memo.SharedVerdictMemo`
+            to share verdicts *across* synthesize calls that agree on
+            topology, ingresses, and specification (the batch service passes
+            its service-wide pool).  Without one, each synthesize call gets
+            a fresh private memo.
     """
 
     def __init__(
@@ -46,6 +57,8 @@ class UpdateSynthesizer:
         use_counterexamples: bool = True,
         use_early_termination: bool = True,
         use_reachability_heuristic: bool = True,
+        memoize: bool = True,
+        memo_pool: Optional[SharedVerdictMemo] = None,
     ):
         self.topology = topology
         self.checker = checker
@@ -54,6 +67,19 @@ class UpdateSynthesizer:
         self.use_counterexamples = use_counterexamples
         self.use_early_termination = use_early_termination
         self.use_reachability_heuristic = use_reachability_heuristic
+        self.memoize = memoize
+        self.memo_pool = memo_pool
+
+    def _memo_for(
+        self,
+        spec: Formula,
+        ingresses: Mapping[TrafficClass, Sequence[NodeId]],
+    ) -> Optional[VerdictMemo]:
+        if not self.memoize:
+            return None
+        if self.memo_pool is not None:
+            return self.memo_pool.memo_for(self.topology, spec, ingresses)
+        return VerdictMemo()
 
     def synthesize(
         self,
@@ -79,6 +105,7 @@ class UpdateSynthesizer:
             use_early_termination=self.use_early_termination,
             use_reachability_heuristic=self.use_reachability_heuristic,
             timeout=timeout,
+            memo=self._memo_for(spec, ingresses),
         )
         if self.remove_waits:
             plan = remove_waits(self.topology, init, plan, ingresses)

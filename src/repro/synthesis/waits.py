@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.kripke.structure import rule_covers_class
 from repro.net.commands import Command, RuleGranUpdate, SwitchUpdate, Wait, is_update
@@ -39,28 +39,58 @@ from repro.net.topology import NodeId, Topology
 from repro.synthesis.plan import UpdatePlan
 
 
+def _switch_class_edges(
+    topology: Topology, switch: NodeId, table: Table, tc: Optional[TrafficClass]
+) -> FrozenSet[Tuple[NodeId, NodeId]]:
+    """One switch's contribution to :func:`_class_edges`."""
+    edges: Set[Tuple[NodeId, NodeId]] = set()
+    for rule in table:
+        if tc is not None and not rule_covers_class(rule, tc):
+            continue
+        for action in rule.actions:
+            if not isinstance(action, Forward):
+                continue
+            peer = topology.peer(switch, action.port)
+            if peer is None:
+                continue
+            peer_node, _ = peer
+            if topology.is_switch(peer_node):
+                edges.add((switch, peer_node))
+    return frozenset(edges)
+
+
+#: memo key for one switch's edge contribution: tables are immutable and
+#: content-hashed, so consecutive plan configurations (which share all but
+#: one table) hit the cache on every unchanged switch
+_EdgeCacheKey = Tuple[NodeId, Table, Optional[str]]
+_EdgeCache = Dict[_EdgeCacheKey, FrozenSet[Tuple[NodeId, NodeId]]]
+
+
 def _class_edges(
-    topology: Topology, config: Configuration, tc: Optional[TrafficClass]
+    topology: Topology,
+    config: Configuration,
+    tc: Optional[TrafficClass],
+    cache: Optional[_EdgeCache] = None,
 ) -> Set[Tuple[NodeId, NodeId]]:
     """Directed switch-to-switch edges class ``tc`` can be forwarded along.
 
     ``tc=None`` means "any class" (the class-agnostic fallback).  Port- and
-    in-port-agnostic, hence conservative.
+    in-port-agnostic, hence conservative.  ``cache`` memoizes per-switch
+    contributions across the many near-identical configurations a plan
+    steps through.
     """
     edges: Set[Tuple[NodeId, NodeId]] = set()
     for switch in config.switches():
-        for rule in config.table(switch):
-            if tc is not None and not rule_covers_class(rule, tc):
-                continue
-            for action in rule.actions:
-                if not isinstance(action, Forward):
-                    continue
-                peer = topology.peer(switch, action.port)
-                if peer is None:
-                    continue
-                peer_node, _ = peer
-                if topology.is_switch(peer_node):
-                    edges.add((switch, peer_node))
+        table = config.table(switch)
+        if cache is None:
+            edges |= _switch_class_edges(topology, switch, table, tc)
+            continue
+        key = (switch, table, tc.name if tc is not None else None)
+        cached = cache.get(key)
+        if cached is None:
+            cached = _switch_class_edges(topology, switch, table, tc)
+            cache[key] = cached
+        edges |= cached
     return edges
 
 
@@ -164,6 +194,7 @@ def remove_waits(
 
     commands: List[Command] = []
     config = init
+    edge_cache: _EdgeCache = {}
     # per class: window units (switches whose class rules changed) and the
     # union of the class's forwarding edges over the window's configurations
     window: Dict[Optional[TrafficClass], List[NodeId]] = {tc: [] for tc in classes}
@@ -181,16 +212,16 @@ def remove_waits(
             kept += 1
             for tc in classes:
                 window[tc] = []
-                union[tc] = _class_edges(topology, config, tc)
+                union[tc] = _class_edges(topology, config, tc, edge_cache)
         for tc in affected:
             if not window[tc]:
-                union[tc] |= _class_edges(topology, config, tc)
+                union[tc] |= _class_edges(topology, config, tc, edge_cache)
             window[tc].append(update.switch)
         commands.append(update)
         config = after
         for tc in classes:
             if window[tc]:
-                union[tc] |= _class_edges(topology, config, tc)
+                union[tc] |= _class_edges(topology, config, tc, edge_cache)
 
     new_plan = UpdatePlan(commands, plan.granularity, plan.stats)
     new_plan.stats.waits_before_removal = waits_before

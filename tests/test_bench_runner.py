@@ -61,6 +61,30 @@ class TestRunSuite:
             run_suite("no-such-suite")
 
 
+class TestMemoizeFlag:
+    def test_document_records_memoize_and_counters(self, smoke_document):
+        assert smoke_document["memoize"] is True
+        assert "memo_pruned" in smoke_document["totals"]
+        done_rows = [
+            r for r in smoke_document["scenarios"] if r["status"] == "done"
+        ]
+        assert all("memo_probes" in r for r in done_rows)
+        assert "verdict_memo" in smoke_document["service"]
+
+    def test_memo_off_produces_identical_verdicts_and_plan_shapes(
+        self, smoke_document
+    ):
+        off = run_suite("smoke", quick=True, workers=0, timeout=60.0, memoize=False)
+        assert off["memoize"] is False
+        on_rows = {r["id"]: r for r in smoke_document["scenarios"]}
+        for row in off["scenarios"]:
+            base = on_rows[row["id"]]
+            assert row["status"] == base["status"], row["id"]
+            for field in ("plan_commands", "plan_updates", "plan_waits"):
+                assert row.get(field) == base.get(field), row["id"]
+            assert "memo_probes" not in row
+
+
 class TestCompare:
     def test_identical_runs_pass(self, smoke_document):
         comparison = compare_runs(smoke_document, smoke_document, threshold=2.0)
@@ -108,6 +132,31 @@ class TestCompare:
                 row["model_checks"] = (row["model_checks"] + 20) * 10
         comparison = compare_runs(smoke_document, blown, threshold=2.0)
         assert any("model checks" in r for r in comparison.regressions)
+
+    def test_median_speedup_reported(self, smoke_document):
+        baseline = copy.deepcopy(smoke_document)
+        current = copy.deepcopy(smoke_document)
+        for row in baseline["scenarios"]:
+            row["seconds"] = 0.1  # well above the resolution floor
+        for row in current["scenarios"]:
+            row["seconds"] = 0.05  # uniformly 2x faster
+        comparison = compare_runs(baseline, current)
+        assert comparison.ok
+        assert comparison.median_speedup == pytest.approx(2.0, rel=1e-3)
+        assert any("median per-scenario speedup" in n for n in comparison.notes)
+        assert comparison.as_dict()["median_speedup"] == comparison.median_speedup
+
+    def test_median_speedup_ignores_noise_and_status_flips(self, smoke_document):
+        baseline = copy.deepcopy(smoke_document)
+        current = copy.deepcopy(smoke_document)
+        # all rows sub-floor on both sides: no signal, no median at all —
+        # in particular a 0-second row must not mint an absurd ratio
+        for row in baseline["scenarios"]:
+            row["seconds"] = 0.0002
+        for row in current["scenarios"]:
+            row["seconds"] = 0.0
+        comparison = compare_runs(baseline, current)
+        assert comparison.median_speedup is None
 
     def test_bad_threshold_rejected(self, smoke_document):
         with pytest.raises(ReproError):

@@ -1,0 +1,279 @@
+"""Tests for the cross-candidate memoization layer (:mod:`repro.perf`)."""
+
+import pytest
+
+from repro.kripke.structure import KripkeStructure
+from repro.ltl import specs
+from repro.ltl.parser import parse
+from repro.net.config import Configuration
+from repro.net.fields import TrafficClass
+from repro.net.rules import Forward, Pattern, Rule, Table
+from repro.perf import (
+    SharedVerdictMemo,
+    VerdictMemo,
+    config_fingerprint,
+    reached_state_key,
+    scope_fingerprint,
+    table_fingerprint,
+)
+from repro.perf.profile import PROFILE_SCHEMA, run_profile
+from repro.scenarios import generate_corpus
+from repro.synthesis import UpdateSynthesizer, order_update
+from repro.topo import mini_datacenter
+
+TC = TrafficClass.make("f13", src="H1", dst="H3")
+RED = ["H1", "T1", "A1", "C1", "A3", "T3", "H3"]
+GREEN = ["H1", "T1", "A1", "C2", "A3", "T3", "H3"]
+
+
+def fig1():
+    topo = mini_datacenter()
+    init = Configuration.from_paths(topo, {TC: RED})
+    final = Configuration.from_paths(topo, {TC: GREEN})
+    return topo, init, final
+
+
+def rule(priority, dst, port):
+    return Rule(priority, Pattern.make(dst=dst), (Forward(port),))
+
+
+class TestFingerprints:
+    def test_table_fingerprint_ignores_rule_listing_order(self):
+        a, b = rule(5, "H1", 1), rule(7, "H2", 2)
+        assert table_fingerprint(Table([a, b])) == table_fingerprint(Table([b, a]))
+
+    def test_table_fingerprint_distinguishes_content(self):
+        assert table_fingerprint(Table([rule(5, "H1", 1)])) != table_fingerprint(
+            Table([rule(5, "H1", 2)])
+        )
+
+    def test_config_fingerprint_collides_on_permutations(self):
+        topo, init, _ = fig1()
+        rules = {sw: list(init.table(sw)) for sw in init.switches()}
+        permuted = Configuration(
+            {sw: Table(reversed(rs)) for sw, rs in rules.items()}
+        )
+        assert config_fingerprint(init) == config_fingerprint(permuted)
+
+    def test_scope_fingerprint_ignores_field_and_ingress_order(self):
+        topo, _, _ = fig1()
+        spec = parse("dst=H3 => F at(H3)")
+        tc_a = TrafficClass("t", (("dst", "H3"), ("src", "H1")))
+        tc_b = TrafficClass("t", (("src", "H1"), ("dst", "H3")))
+        # TrafficClass field tuples are part of equality, so permuted field
+        # listings are distinct objects — the scope canonicalization must
+        # still collapse them
+        assert scope_fingerprint(topo, spec, {tc_a: ["H1", "H2"]}) == scope_fingerprint(
+            topo, spec, {tc_b: ["H2", "H1"]}
+        )
+
+    def test_scope_fingerprint_distinguishes_specs(self):
+        topo, _, _ = fig1()
+        ing = {TC: ["H1"]}
+        assert scope_fingerprint(topo, parse("F at(H3)"), ing) != scope_fingerprint(
+            topo, parse("F at(H1)"), ing
+        )
+
+
+class TestReachedStateKey:
+    def test_invalidation_after_apply_update_and_revert(self):
+        """A verdict memoized pre-update must not be served post-update."""
+        topo, init, final = fig1()
+        structure = KripkeStructure(topo, init, {TC: ["H1"]})
+        memo = VerdictMemo()
+        key_before = reached_state_key(structure)
+        memo.record(key_before, True)
+        assert memo.lookup(key_before).ok
+
+        structure.update_switch("A1", final.table("A1"))
+        key_after = reached_state_key(structure)
+        assert key_after != key_before
+        assert memo.lookup(key_after) is None  # stale entry never served
+
+        structure.update_switch("A1", init.table("A1"))
+        assert reached_state_key(structure) == key_before
+        assert memo.lookup(key_before).ok  # reverting re-hits the old entry
+
+    def test_unreachable_update_collapses_onto_same_key(self):
+        """Keys see only the reached state: sibling branches that differ in
+        unreachable switches share one memo entry."""
+        topo, init, final = fig1()
+        structure = KripkeStructure(topo, init, {TC: ["H1"]})
+        key_before = reached_state_key(structure)
+        # C2 is not on the red path, so no packet reaches it
+        assert "C2" not in structure.reachable_switches(TC)
+        structure.update_switch("C2", final.table("C2"))
+        assert reached_state_key(structure) == key_before
+
+
+class TestVerdictMemo:
+    def test_record_and_lookup_counters(self):
+        memo = VerdictMemo()
+        assert memo.lookup("k") is None
+        memo.record("k", False)
+        entry = memo.lookup("k")
+        assert entry is not None and not entry.ok
+        assert memo.stats.probes == 2
+        assert memo.stats.hits == 1
+        assert memo.stats.refuted_hits == 1
+        assert memo.has_refutations
+
+    def test_only_sink_ending_traces_join_the_dominance_store(self):
+        topo, init, _ = fig1()
+        structure = KripkeStructure(topo, init, {TC: ["H1"]})
+        initial = structure.initial_states[0]
+        # a genuine maximal trace: walk to the sink
+        trace = [initial]
+        while not structure.is_sink(trace[-1]):
+            trace.append(structure.succ(trace[-1])[0])
+        memo = VerdictMemo()
+        memo.record("k1", False, trace)
+        assert memo.find_refuting_trace(structure) == tuple(trace)
+        # a non-maximal prefix (no sink) must not be replayed
+        memo2 = VerdictMemo()
+        memo2.record("k2", False, trace[:-1])
+        assert memo2.find_refuting_trace(structure) is None
+
+    def test_trace_store_eviction_allows_relearning(self):
+        """Regression: deque eviction drops the *oldest* trace; its dedup
+        entry must go with it so the trace can be learned again later."""
+        topo, init, _ = fig1()
+        structure = KripkeStructure(topo, init, {TC: ["H1"]})
+        initial = structure.initial_states[0]
+        trace = [initial]
+        while not structure.is_sink(trace[-1]):
+            trace.append(structure.succ(trace[-1])[0])
+        memo = VerdictMemo(max_traces=2)
+        old = tuple(trace)
+        filler1 = old[:-1] + (old[-1],) * 2  # distinct tuples, same states
+        filler2 = old[:-1] + (old[-1],) * 3
+        memo.record("k1", False, old)
+        memo.record("k2", False, filler1)
+        memo.record("k3", False, filler2)  # evicts `old` from the deque
+        assert memo.find_refuting_trace(structure) != old
+        memo.record("k4", False, old)  # must be re-learnable
+        assert memo.find_refuting_trace(structure) == old
+
+    def test_trace_replay_rejects_mutated_structures(self):
+        topo, init, final = fig1()
+        structure = KripkeStructure(topo, init, {TC: ["H1"]})
+        initial = structure.initial_states[0]
+        trace = [initial]
+        while not structure.is_sink(trace[-1]):
+            trace.append(structure.succ(trace[-1])[0])
+        memo = VerdictMemo()
+        memo.record("k", False, trace)
+        # rerouting A1 breaks an edge of the trace: it must not re-embed
+        structure.update_switch("A1", final.table("A1"))
+        assert memo.find_refuting_trace(structure) is None
+
+
+class TestSharedMemoAcrossJobs:
+    def test_repeat_job_skips_model_checks_and_preserves_the_plan(self):
+        records = generate_corpus("smoke", quick=True)
+        record = next(
+            r for r in records if r.scenario_id == "diamond/chained2x2/chain/baseline"
+        )
+        problem = record.problem
+        pool = SharedVerdictMemo()
+        plans, checks = [], []
+        for _ in range(2):
+            synth = UpdateSynthesizer(
+                problem.topology, granularity=record.granularity, memo_pool=pool
+            )
+            plan = synth.synthesize(
+                problem.init, problem.final, problem.spec, problem.ingresses
+            )
+            plans.append(str(plan))
+            checks.append(plan.stats.model_checks)
+        assert plans[0] == plans[1]
+        assert checks[1] < checks[0]  # verdicts were shared across the jobs
+        assert pool.stats().checks_skipped > 0
+
+    def test_pool_scopes_by_spec(self):
+        topo, init, final = fig1()
+        pool = SharedVerdictMemo()
+        a = pool.memo_for(topo, parse("F at(H3)"), {TC: ["H1"]})
+        b = pool.memo_for(topo, parse("F at(H1)"), {TC: ["H1"]})
+        assert a is not b
+        assert pool.memo_for(topo, parse("F at(H3)"), {TC: ["H1"]}) is a
+
+
+class TestMemoEquivalence:
+    def test_memo_on_off_identical_plans_on_smoke_suite(self):
+        """The acceptance regression: memoization must be verdict-preserving
+        on every smoke scenario — same status, identical plan."""
+        records = generate_corpus("smoke", quick=True)
+        pool = SharedVerdictMemo()
+        for record in records:
+            problem = record.problem
+            outcomes = {}
+            for memoize in (True, False):
+                synth = UpdateSynthesizer(
+                    problem.topology,
+                    granularity=record.granularity,
+                    memoize=memoize,
+                    memo_pool=pool if memoize else None,
+                )
+                try:
+                    plan = synth.synthesize(
+                        problem.init, problem.final, problem.spec, problem.ingresses
+                    )
+                    outcomes[memoize] = ("done", str(plan))
+                except Exception as err:  # noqa: BLE001 — compare verdicts
+                    outcomes[memoize] = (type(err).__name__, None)
+            assert outcomes[True] == outcomes[False], record.scenario_id
+
+    def test_order_update_accepts_explicit_memo(self):
+        topo, init, final = fig1()
+        spec = specs.reachability(TC, "H3")
+        memo = VerdictMemo()
+        # without the heuristic the search tries A1 before C2 and gets
+        # refuted, so the memo genuinely sees a verdict
+        plan_memo = order_update(
+            topo, init, final, {TC: ["H1"]}, spec,
+            memo=memo, use_reachability_heuristic=False,
+        )
+        plan_plain = order_update(
+            topo, init, final, {TC: ["H1"]}, spec,
+            memo=None, use_reachability_heuristic=False,
+        )
+        assert str(plan_memo) == str(plan_plain)
+        assert plan_memo.stats.counterexamples > 0
+        assert memo.stats.inserts > 0  # the search fed the memo
+
+
+class TestProfileHarness:
+    def test_profile_document_schema_and_phases(self):
+        document = run_profile("smoke", quick=True)
+        assert document["schema"] == PROFILE_SCHEMA
+        totals = document["totals"]
+        assert totals["scenarios"] == len(document["scenarios"])
+        assert set(totals["phases"]) == {
+            "labeling",
+            "sat_ordering",
+            "wait_removal",
+            "memo_probes",
+            "other",
+        }
+        for row in document["scenarios"]:
+            assert row["status"] in ("done", "infeasible", "timeout")
+            if "phases" in row:
+                # attributed phases never exceed the measured wall time
+                attributed = sum(
+                    v for k, v in row["phases"].items() if k != "other"
+                )
+                assert attributed <= row["seconds"] + 1e-6
+        assert "memo_pool" in totals
+
+    def test_profile_no_memo(self):
+        document = run_profile("smoke", quick=True, memoize=False)
+        assert document["memoize"] is False
+        assert document["totals"]["memo_probes"] == 0
+        assert "memo_pool" not in document["totals"]
+
+    def test_profile_unknown_suite(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run_profile("no-such-suite")

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Scans the given markdown files (or the repo's default doc set) for inline
+links ``[text](target)`` and image links, and fails if a relative target —
+after stripping any ``#anchor`` — does not exist on disk relative to the
+file that references it.  External (``http://``/``https://``/``mailto:``)
+and pure-anchor links are skipped: CI must not depend on network access.
+
+Usage::
+
+    python tools/check_markdown_links.py [FILE.md ...]
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link).  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links/images: [text](target) — stops at the first ')'
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+DEFAULT_FILES = ("README.md", "ROADMAP.md", "PAPER.md", "PAPERS.md", "CHANGES.md")
+
+
+def iter_links(path: Path):
+    text = path.read_text(encoding="utf-8")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> list:
+    broken = []
+    for lineno, target in iter_links(path):
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(f"{path}:{lineno}: broken link -> {target}")
+    return broken
+
+
+def main(argv) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [root / name for name in DEFAULT_FILES if (root / name).exists()]
+        files.extend(sorted((root / "docs").glob("**/*.md")))
+    broken = []
+    for path in files:
+        if not path.exists():
+            broken.append(f"{path}: no such file")
+            continue
+        broken.extend(check_file(path))
+    for line in broken:
+        print(line, file=sys.stderr)
+    checked = len(files)
+    print(f"checked {checked} markdown file(s): "
+          f"{'OK' if not broken else f'{len(broken)} broken link(s)'}")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -64,8 +64,9 @@ def _execute_payload(
     This is the worker-process entry point — it must stay module-level (for
     pickling) and must never raise (errors become ``status="error"``).
     ``memo_pool`` shares model-checker verdicts across jobs with identical
-    topology, ingresses, and spec; it is only passed on the in-process
-    serial path (worker processes keep their own per-job memos).
+    topology, ingresses, and spec.  The serial path passes the live
+    service-wide pool; pool submissions pickle it, so a worker starts from
+    the pool's state at submission time.
     """
     from repro.net.serialize import plan_to_dict  # local: after fork/spawn
 
@@ -170,8 +171,8 @@ class SynthesisService:
         self.default_options = default_options or SynthesisOptions()
         self.metrics = metrics or ServiceMetrics()
         # cross-job verdict memo: jobs on the same topology/ingresses/spec
-        # share refuted traces and verdicts (serial in-process path only —
-        # worker processes cannot share in-memory state)
+        # share refuted traces and verdicts; pool workers receive a copy of
+        # its state with each payload
         self.verdict_memo = SharedVerdictMemo()
         self._pending: List[SynthesisJob] = []
         self._last_order: List[str] = []
@@ -345,7 +346,11 @@ class SynthesisService:
                     group[0]
                 ):
                     future = executor.submit(
-                        _execute_payload, problem_data, options_data, backend
+                        _execute_payload,
+                        problem_data,
+                        options_data,
+                        backend,
+                        self.verdict_memo,
                     )
                     pending[future] = (key, backend)
             while pending:

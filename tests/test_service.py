@@ -290,6 +290,47 @@ class TestServicePool:
         result = service.run()[0]
         assert result.status is JobStatus.INFEASIBLE
 
+    def test_pool_memo_sharing_matches_serial(self):
+        """Regression: pool-mode payloads must carry the service's verdict
+        memo — workers used to run memo-blind while the serial path shared.
+
+        A 2-job batch on one memo scope (same topology, ingresses, spec;
+        forward and reverse updates) must report the same plans and non-zero
+        memo hit counters whether it runs serially or on the pool.
+        """
+        from repro.scenarios import generate_corpus
+
+        records = generate_corpus("smoke", quick=True)
+        record = next(
+            r for r in records if r.scenario_id == "diamond/chained2x2/chain/baseline"
+        )
+        forward = record.problem
+        reverse = Problem(
+            topology=forward.topology,
+            ingresses=forward.ingresses,
+            init=forward.final,
+            final=forward.init,
+            spec=forward.spec,
+            spec_text=forward.spec_text,
+        )
+        plans = {}
+        for workers in (0, 2):
+            service = SynthesisService(workers=workers)
+            opts = SynthesisOptions(granularity=record.granularity)
+            service.submit(forward, job_id="fwd", options=opts)
+            service.submit(reverse, job_id="rev", options=opts)
+            results = {r.job_id: r for r in service.stream()}
+            for result in results.values():
+                assert result.status is JobStatus.DONE
+                assert result.plan.stats.memo_hits > 0, (
+                    f"workers={workers}: job ran memo-blind"
+                )
+            plans[workers] = {
+                job_id: (result.plan.granularity, list(result.plan.commands))
+                for job_id, result in results.items()
+            }
+        assert plans[0] == plans[2]
+
 
 # ----------------------------------------------------------------------
 # CLI integration

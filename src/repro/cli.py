@@ -16,11 +16,13 @@ Subcommands:
   print its table.
 * ``batch PROBLEMS.jsonl`` — run many problems through the
   :mod:`repro.service` batch engine (worker pool + content-addressed plan
-  cache) and stream one JSON result object per line to stdout.  Each input
-  line is a problem document (the ``synthesize`` format), optionally with
-  extra ``"id"``, ``"timeout"`` and ``"granularity"`` keys.  An empty (or
-  comment-only) file is a valid empty batch: the result stream is empty and
-  the exit status is 0.
+  cache + cross-job verdict-memo sharing) and stream one JSON result object
+  per line to stdout.  Each input line is a problem document (the
+  ``synthesize`` format), optionally with extra ``"id"``, ``"timeout"`` and
+  ``"granularity"`` keys.  ``--shards N`` races N disjoint slices of each
+  job's search space across the worker pool.  An empty (or comment-only)
+  file is a valid empty batch: the result stream is empty and the exit
+  status is 0.
 * ``corpus --suite NAME`` — generate a deterministic scenario corpus
   (:mod:`repro.scenarios`) in the ``batch`` JSONL format.
 * ``bench --suite NAME`` — run a scenario suite through the service engine
@@ -352,18 +354,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.service import SynthesisOptions, SynthesisService
 
     jobs = _load_batch_jobs(args.problems)
+    if args.shards < 1:
+        raise ParseError(f"--shards must be >= 1, got {args.shards}")
     options = SynthesisOptions(
         checker=args.checker,
         granularity=args.granularity,
         timeout=args.timeout,
         portfolio=args.portfolio or (),
         memoize=not args.no_memo,
+        shards=args.shards,
     )
     service = SynthesisService(
         workers=0 if args.serial else args.workers,
         cache_dir=args.cache_dir,
         default_options=options,
     )
+    if args.shards > 1 and service.workers <= 1:
+        print(
+            f"warning: --shards {args.shards} needs a worker pool "
+            f"(resolved workers: {service.workers}); running unsharded",
+            file=sys.stderr,
+        )
     for job_id, timeout, granularity, problem in jobs:
         opts = options if granularity is None else replace(options, granularity=granularity)
         service.submit(problem, job_id=job_id, timeout=timeout, options=opts)
@@ -429,6 +440,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return EXIT_OK if comparison.ok else EXIT_FAILURE
     if not args.suite:
         raise ReproError("bench needs --suite NAME (or --compare BASELINE CURRENT)")
+    if args.shards < 1:
+        raise ParseError(f"--shards must be >= 1, got {args.shards}")
     document = run_suite(
         args.suite,
         quick=args.quick,
@@ -437,6 +450,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         checker=args.checker,
         memoize=not args.no_memo,
+        shards=args.shards,
     )
     out_path = args.out or f"BENCH_{args.suite}.json"
     write_bench(document, out_path)
@@ -521,6 +535,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--portfolio", default=None, metavar="B1,B2",
                          type=_portfolio_arg,
                          help="race these comma-separated checker backends per job")
+    p_batch.add_argument("--shards", type=int, default=1,
+                         help="split each job's order search space into N "
+                              "disjoint slices raced on the worker pool "
+                              "(default 1: unsharded; needs --workers >= 2)")
     p_batch.add_argument("--cache-dir", default=None,
                          help="persist the plan cache to this directory")
     p_batch.add_argument("--no-memo", action="store_true",
@@ -576,6 +594,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--no-memo", action="store_true",
                          help="disable the cross-candidate verdict memo "
                               "(for memo A/B comparisons)")
+    p_bench.add_argument("--shards", type=int, default=1,
+                         help="race each scenario's search across N shards "
+                              "(default 1; needs --workers >= 2)")
     p_bench.add_argument("--json", action="store_true",
                          help="emit the document/comparison as JSON to stdout")
     p_bench.set_defaults(fn=_cmd_bench)

@@ -66,6 +66,16 @@ class KState:
             object.__setattr__(self, "_hash", h)
         return h
 
+    def __getstate__(self):
+        # drop the cached hash: it is salt-specific to this process, and
+        # memo traces carry states across the worker-pool boundary
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
     @property
     def dropped(self) -> bool:
         return self.kind == "drop"

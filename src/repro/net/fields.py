@@ -44,6 +44,16 @@ class TrafficClass:
             object.__setattr__(self, "_hash", h)
         return h
 
+    def __getstate__(self):
+        # drop the cached hash: salted str hashes differ between processes,
+        # and classes ride inside pickled memo keys and traces
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
     @staticmethod
     def make(name: str, **fields: FieldValue) -> "TrafficClass":
         return TrafficClass(name, _freeze(fields))

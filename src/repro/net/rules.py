@@ -152,6 +152,16 @@ class Table:
             self._hash = hash(self._rules)
         return self._hash
 
+    def __getstate__(self):
+        # never ship the cached hash across a process boundary: str hashes
+        # are salted per process, so a pickled cache would disagree with
+        # hashes the receiving process computes for equal tables
+        return self._rules
+
+    def __setstate__(self, state) -> None:
+        self._rules = state
+        self._hash = None
+
     def lookup(self, packet: Packet, port: int) -> Optional[Rule]:
         """The highest-priority rule matching ``(packet, port)``, if any."""
         for rule in self._rules:

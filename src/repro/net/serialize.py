@@ -242,6 +242,7 @@ def plan_to_dict(plan: UpdatePlan) -> Dict[str, Any]:
             "memo_probes": plan.stats.memo_probes,
             "memo_hits": plan.stats.memo_hits,
             "memo_pruned": plan.stats.memo_pruned,
+            "shards": plan.stats.shards,
             "labeling_seconds": plan.stats.labeling_seconds,
             "sat_seconds": plan.stats.sat_seconds,
             "memo_seconds": plan.stats.memo_seconds,
@@ -297,6 +298,7 @@ def plan_from_dict(
     plan.stats.memo_probes = int(stats.get("memo_probes", 0))
     plan.stats.memo_hits = int(stats.get("memo_hits", 0))
     plan.stats.memo_pruned = int(stats.get("memo_pruned", 0))
+    plan.stats.shards = int(stats.get("shards", 0))
     plan.stats.labeling_seconds = float(stats.get("labeling_seconds", 0.0))
     plan.stats.sat_seconds = float(stats.get("sat_seconds", 0.0))
     plan.stats.memo_seconds = float(stats.get("memo_seconds", 0.0))

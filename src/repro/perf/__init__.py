@@ -25,9 +25,17 @@ from repro.perf.fingerprint import (
     scope_fingerprint,
     table_fingerprint,
 )
-from repro.perf.memo import MemoStats, SharedVerdictMemo, VerdictMemo
+from repro.perf.memo import (
+    MemoDelta,
+    MemoSnapshot,
+    MemoStats,
+    SharedVerdictMemo,
+    VerdictMemo,
+)
 
 __all__ = [
+    "MemoDelta",
+    "MemoSnapshot",
     "MemoStats",
     "SharedVerdictMemo",
     "VerdictMemo",

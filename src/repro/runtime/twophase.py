@@ -60,7 +60,10 @@ def stamping_rules(
     """Ingress rules that stamp ``ver=2`` and forward per the final config.
 
     One rule per flow, installed on the switch its source host attaches to;
-    installing these is the atomic "flip" of phase two.
+    installing these is the atomic "flip" of phase two.  A final
+    configuration that multicasts at the ingress (several outputs for one
+    probe packet) cannot be stamped by a single forwarding rule — that is a
+    :class:`~repro.errors.ConfigurationError`, not a silent first-copy pick.
     """
     out: Dict[NodeId, List[Rule]] = {}
     for tc, (src, _dst) in flows.items():
@@ -72,8 +75,16 @@ def stamping_rules(
                 f"final configuration has no rule for {tc.name} at its "
                 f"ingress switch {ingress!r}"
             )
+        if len(outputs) > 1:
+            raise ConfigurationError(
+                f"final configuration multicasts {tc.name} at its ingress "
+                f"switch {ingress!r} ({len(outputs)} output copies); "
+                "two-phase stamping rules forward exactly one copy"
+            )
         _packet, out_port = outputs[0]
-        pattern = Pattern(None, tc.fields)
+        # match the canonical field order versioned_rules uses, so stamp
+        # patterns stay equality/hash-compatible with normalized tables
+        pattern = Pattern(None, tuple(sorted(tc.fields)))
         rule = Rule(
             STAMP_PRIORITY_BOOST + max((r.priority for r in final.table(ingress)), default=0),
             pattern,

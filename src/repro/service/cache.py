@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional
@@ -26,6 +27,23 @@ from repro.net.serialize import plan_from_dict, plan_to_dict
 from repro.synthesis.plan import UpdatePlan
 
 STATS_FILENAME = "stats.json"
+
+#: one warning per process when stats merging falls back to lockless mode
+#: (concurrent writers may then lose each other's increments)
+_warned_lockless = False
+
+
+def _warn_lockless_once() -> None:
+    global _warned_lockless
+    if _warned_lockless:
+        return
+    _warned_lockless = True
+    warnings.warn(
+        "cache stats: file locking unavailable; falling back to a lockless "
+        "merge (concurrent batch runs may lose counter increments)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -160,9 +178,10 @@ class PlanCache:
         """Merge this instance's counters into ``<directory>/stats.json``.
 
         The read-modify-write is serialized across processes with an
-        advisory ``flock`` on a sidecar lock file (best-effort on platforms
-        without ``fcntl``), so concurrent batch runs sharing a cache
-        directory don't lose each other's increments.
+        advisory ``flock`` on a sidecar lock file, so concurrent batch runs
+        sharing a cache directory don't lose each other's increments.  On
+        platforms without ``fcntl`` (or when locking fails) it degrades to
+        a lockless merge and warns once per process.
         """
         if self.directory is None:
             return
@@ -175,7 +194,12 @@ class PlanCache:
             lock_handle = open(path + ".lock", "w")
             fcntl.flock(lock_handle, fcntl.LOCK_EX)
         except (ImportError, OSError):
+            # close the handle if open succeeded but flock refused — losing
+            # the lock must not also leak the descriptor
+            if lock_handle is not None:
+                lock_handle.close()
             lock_handle = None
+            _warn_lockless_once()
         try:
             merged = dict.fromkeys(
                 ("hits", "misses", "evictions", "disk_hits", "puts"), 0

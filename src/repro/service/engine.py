@@ -16,11 +16,27 @@ flow through three stages:
    backends and the first definitive verdict (a plan, or a proof of
    infeasibility) wins.
 
-Workers exchange JSON-safe dicts (problems via
-:func:`~repro.net.serialize.problem_to_dict`, plans via
-:func:`~repro.net.serialize.plan_to_dict`), so nothing fancier than
-built-in types ever crosses a process boundary.  Per-job timeouts are
-enforced cooperatively by the synthesizer's own deadline checks.
+Problems and plans cross the process boundary as JSON-safe dicts
+(:func:`~repro.net.serialize.problem_to_dict`,
+:func:`~repro.net.serialize.plan_to_dict`); verdict-memo snapshots and
+deltas (:class:`~repro.perf.memo.MemoSnapshot`) ride the same pickle
+channel as plain value objects.  Per-job timeouts are enforced
+cooperatively by the synthesizer's own deadline checks.
+
+Pool executions share the verdict memo through a snapshot/merge protocol:
+every dispatched payload carries a snapshot of its job's memo scope taken
+*at dispatch time*, the worker seeds a delta-tracking pool from it, and
+the learned delta returns with the result for the engine to merge — so
+later-scheduled jobs (and later-dispatched shards of one job) start from
+everything the batch has already learned.  In the CDCL framing this is
+clause sharing between parallel solvers.
+
+Hard jobs can additionally be *sharded*: ``SynthesisOptions.shards = N``
+splits the order search space into N disjoint slices
+(:class:`~repro.synthesis.search.SearchShard`) raced on the same pool —
+the first plan wins, and infeasibility needs every shard to exhaust its
+slice (endpoint violations and SAT proofs stay global and settle the race
+immediately).
 """
 
 from __future__ import annotations
@@ -28,21 +44,34 @@ from __future__ import annotations
 import itertools
 import os
 import time
+import warnings
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.errors import SynthesisTimeout, UpdateInfeasibleError
+from repro.errors import MemoMergeError, SynthesisTimeout, UpdateInfeasibleError
 from repro.net.serialize import (
     Problem,
     plan_from_dict,
     problem_from_dict,
     problem_to_dict,
 )
-from repro.perf.memo import SharedVerdictMemo
+from repro.perf.fingerprint import scope_fingerprint
+from repro.perf.memo import MemoSnapshot, SharedVerdictMemo
 from repro.service.cache import PlanCache
 from repro.service.jobs import JobResult, JobStatus, SynthesisJob, SynthesisOptions
 from repro.service.metrics import ServiceMetrics
-from repro.synthesis import UpdateSynthesizer
+from repro.synthesis import SearchShard, UpdateSynthesizer
 
 #: Statuses that settle a fingerprint group in portfolio mode: a plan, or a
 #: proof that no plan exists.  ``timeout``/``error`` keep the race open.
@@ -58,19 +87,42 @@ def _execute_payload(
     options_data: Dict[str, Any],
     backend: str,
     memo_pool: Optional[SharedVerdictMemo] = None,
+    memo_snapshot: Optional[MemoSnapshot] = None,
 ) -> Dict[str, Any]:
-    """Run one synthesis attempt; always returns a JSON-safe result dict.
+    """Run one synthesis attempt; always returns a pickle-safe result dict.
 
     This is the worker-process entry point — it must stay module-level (for
     pickling) and must never raise (errors become ``status="error"``).
-    ``memo_pool`` shares model-checker verdicts across jobs with identical
-    topology, ingresses, and spec.  The serial path passes the live
-    service-wide pool; pool submissions pickle it, so a worker starts from
-    the pool's state at submission time.
+
+    Memo sharing comes in two flavours: the in-process serial path passes
+    the live service-wide ``memo_pool`` directly, while pool dispatches
+    send a ``memo_snapshot`` of the job's memo scope.  A snapshot seeds a
+    delta-tracking pool whose learned entries are returned under
+    ``"memo_delta"`` for the engine to merge back.
+
+    ``options_data`` may carry ``shards``/``shard_index``: shard counts
+    above one restrict this attempt to its
+    :class:`~repro.synthesis.search.SearchShard` slice of the order space,
+    and an exhausted slice reports ``infeasible_reason="shard"`` (not a
+    global proof — the engine combines the shards' verdicts).
     """
     from repro.net.serialize import plan_to_dict  # local: after fork/spawn
 
     start = time.perf_counter()
+    delta_pool: Optional[SharedVerdictMemo] = None
+    pool = memo_pool
+    if pool is None and memo_snapshot is not None:
+        pool = delta_pool = SharedVerdictMemo.from_snapshot(
+            memo_snapshot, track_deltas=True
+        )
+
+    def finish(out: Dict[str, Any]) -> Dict[str, Any]:
+        out["seconds"] = time.perf_counter() - start
+        out["backend"] = backend
+        if delta_pool is not None:
+            out["memo_delta"] = delta_pool.drain_deltas()
+        return out
+
     try:
         problem = problem_from_dict(problem_data)
         synth = UpdateSynthesizer(
@@ -84,7 +136,13 @@ def _execute_payload(
                 "use_reachability_heuristic", True
             ),
             memoize=options_data.get("memoize", True),
-            memo_pool=memo_pool,
+            memo_pool=pool,
+        )
+        shards = int(options_data.get("shards", 1) or 1)
+        shard = (
+            SearchShard(int(options_data.get("shard_index", 0)), shards)
+            if shards > 1
+            else None
         )
         plan = synth.synthesize(
             problem.init,
@@ -92,34 +150,36 @@ def _execute_payload(
             problem.spec,
             problem.ingresses,
             timeout=options_data.get("timeout"),
+            shard=shard,
         )
     except UpdateInfeasibleError as err:
-        return {
-            "status": JobStatus.INFEASIBLE.value,
-            "message": f"({err.reason}) {err}",
-            "seconds": time.perf_counter() - start,
-            "backend": backend,
-        }
+        return finish(
+            {
+                "status": JobStatus.INFEASIBLE.value,
+                "message": f"({err.reason}) {err}",
+                "infeasible_reason": err.reason,
+            }
+        )
     except SynthesisTimeout as err:
-        return {
-            "status": JobStatus.TIMEOUT.value,
-            "message": str(err),
-            "seconds": time.perf_counter() - start,
-            "backend": backend,
-        }
+        return finish(
+            {
+                "status": JobStatus.TIMEOUT.value,
+                "message": str(err),
+            }
+        )
     except Exception as err:  # noqa: BLE001 — must cross the process boundary
-        return {
-            "status": JobStatus.ERROR.value,
-            "message": f"{type(err).__name__}: {err}",
-            "seconds": time.perf_counter() - start,
-            "backend": backend,
+        return finish(
+            {
+                "status": JobStatus.ERROR.value,
+                "message": f"{type(err).__name__}: {err}",
+            }
+        )
+    return finish(
+        {
+            "status": JobStatus.DONE.value,
+            "plan": plan_to_dict(plan),
         }
-    return {
-        "status": JobStatus.DONE.value,
-        "plan": plan_to_dict(plan),
-        "seconds": time.perf_counter() - start,
-        "backend": backend,
-    }
+    )
 
 
 def _best_failure(results: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
@@ -129,6 +189,29 @@ def _best_failure(results: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
             if res["status"] == status:
                 return res
     return results[-1]
+
+
+def _conclude_shards(results: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """One backend's verdict once every shard of its task has reported.
+
+    The shards partition the order space, so all-shards-infeasible upgrades
+    to a *global* infeasibility proof.  Any timeout or error among them
+    means part of the space went unexplored — the most informative failure
+    wins instead (a shard's "my slice is exhausted" alone proves nothing).
+    For unsharded tasks (one result) this degrades to the old behavior.
+    """
+    if all(res["status"] == JobStatus.INFEASIBLE.value for res in results):
+        combined = dict(results[0])
+        if len(results) > 1:
+            combined["message"] = (
+                f"({len(results)} shards) every shard exhausted its slice: "
+                "no simple careful update sequence exists"
+            )
+            combined["infeasible_reason"] = "search"
+            # shards ran concurrently; the slowest bounds the wall time
+            combined["seconds"] = max(res.get("seconds", 0.0) for res in results)
+        return combined
+    return _best_failure(results)
 
 
 def default_worker_count() -> int:
@@ -171,9 +254,11 @@ class SynthesisService:
         self.default_options = default_options or SynthesisOptions()
         self.metrics = metrics or ServiceMetrics()
         # cross-job verdict memo: jobs on the same topology/ingresses/spec
-        # share refuted traces and verdicts; pool workers receive a copy of
-        # its state with each payload
+        # share refuted traces and verdicts.  The serial path probes it
+        # live; pool dispatches snapshot it per payload and merge the
+        # workers' learned deltas back (see the module docstring).
         self.verdict_memo = SharedVerdictMemo()
+        self._memo_conflict_warned = False
         self._pending: List[SynthesisJob] = []
         self._last_order: List[str] = []
         self._ids = itertools.count(1)
@@ -249,10 +334,15 @@ class SynthesisService:
                         (job.fingerprint, job.options.timeout), []
                     ).append(job)
 
-            # stage 3: execute one representative per fingerprint group
+            # stage 3: execute one representative per fingerprint group.
+            # Task count includes shards: a single job with shards=4 is
+            # worth spinning the pool up for (that is the point of shards).
             if not groups:
                 return
-            tasks = sum(len(group[0].options.backends()) for group in groups.values())
+            tasks = sum(
+                len(group[0].options.backends()) * max(1, group[0].options.shards)
+                for group in groups.values()
+            )
             runner = (
                 self._execute_serial
                 if self.workers <= 1 or tasks == 1
@@ -290,19 +380,47 @@ class SynthesisService:
     # ------------------------------------------------------------------
     @staticmethod
     def _group_payloads(
-        job: SynthesisJob,
+        job: SynthesisJob, *, sharded: bool = True
     ) -> List[Tuple[str, Dict[str, Any], Dict[str, Any]]]:
-        """(backend, problem_dict, options_dict) per portfolio entry."""
+        """(backend, problem_dict, options_dict) per portfolio entry × shard.
+
+        ``sharded=False`` collapses the shard dimension — the serial path
+        runs every job unsharded (racing slices sequentially could only
+        lose time against one unrestricted search).
+        """
         problem_data = problem_to_dict(job.problem)
-        options_data = dict(
-            job.options.identity_dict(),
-            timeout=job.options.timeout,
-            memoize=job.options.memoize,
+        shards = max(1, job.options.shards) if sharded else 1
+        payloads = []
+        for backend in job.options.backends():
+            for index in range(shards):
+                options_data = dict(
+                    job.options.identity_dict(),
+                    timeout=job.options.timeout,
+                    memoize=job.options.memoize,
+                    shards=shards,
+                    shard_index=index,
+                )
+                payloads.append((backend, problem_data, options_data))
+        return payloads
+
+    @staticmethod
+    def _group_scope(job: SynthesisJob) -> Optional[str]:
+        """The verdict-memo scope of a job, or ``None`` when memo-disabled."""
+        if not job.options.memoize:
+            return None
+        return scope_fingerprint(
+            job.problem.topology, job.problem.spec, job.problem.ingresses
         )
-        return [
-            (backend, problem_data, options_data)
-            for backend in job.options.backends()
-        ]
+
+    def _warn_memo_conflict(self, err: MemoMergeError) -> None:
+        if self._memo_conflict_warned:
+            return
+        self._memo_conflict_warned = True
+        warnings.warn(
+            f"dropping a worker's verdict-memo delta: {err}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
     def _execute_serial(
         self, groups: "Dict[_GroupKey, List[SynthesisJob]]"
@@ -311,7 +429,9 @@ class SynthesisService:
         for key, group in groups.items():
             group[0].status = JobStatus.RUNNING
             attempts: List[Dict[str, Any]] = []
-            for backend, problem_data, options_data in self._group_payloads(group[0]):
+            for backend, problem_data, options_data in self._group_payloads(
+                group[0], sharded=False
+            ):
                 res = _execute_payload(
                     problem_data, options_data, backend, memo_pool=self.verdict_memo
                 )
@@ -327,38 +447,175 @@ class SynthesisService:
     def _execute_pool(
         self, groups: "Dict[_GroupKey, List[SynthesisJob]]"
     ) -> Iterator[Tuple["_GroupKey", Dict[str, Any]]]:
-        """Worker-pool execution; portfolio backends race concurrently."""
+        """Worker-pool execution; backends (and shards) race concurrently.
+
+        Payloads dispatch lazily — at most ``workers`` in flight — and each
+        dispatch snapshots its job's verdict-memo scope *at that moment*,
+        so a worker starts from everything the batch has learned so far.
+        Completed workers hand their learned delta back and it is merged
+        before the next dispatch.  If the pool breaks mid-batch (a worker
+        died hard), the remaining payloads degrade to inline in-process
+        execution: every job always settles.
+        """
         try:
             executor = ProcessPoolExecutor(max_workers=self.workers)
         except (OSError, ValueError, PermissionError):
             # restricted environments (no /dev/shm, seccomp...) — degrade
             yield from self._execute_serial(groups)
             return
+
+        queue: "Deque[Tuple[_GroupKey, str, Dict[str, Any], Dict[str, Any]]]" = deque()
         pending: "Dict[Future, Tuple[_GroupKey, str]]" = {}
-        state: "Dict[_GroupKey, List[Dict[str, Any]]]" = {}
+        # per (group, backend) shard accounting, per group backend verdicts
+        shard_results: "Dict[Tuple[_GroupKey, str], List[Dict[str, Any]]]" = {}
+        expected: "Dict[Tuple[_GroupKey, str], int]" = {}
+        attempts: "Dict[_GroupKey, List[Dict[str, Any]]]" = {}
+        outstanding: "Dict[_GroupKey, int]" = {}
         decided: "Dict[_GroupKey, bool]" = {}
-        with executor:
-            for key, group in groups.items():
-                group[0].status = JobStatus.RUNNING
-                state[key] = []
-                decided[key] = False
-                for backend, problem_data, options_data in self._group_payloads(
-                    group[0]
-                ):
+        scope_of: "Dict[_GroupKey, Optional[str]]" = {}
+        pool_broken = False
+
+        for key, group in groups.items():
+            group[0].status = JobStatus.RUNNING
+            attempts[key] = []
+            decided[key] = False
+            scope_of[key] = self._group_scope(group[0])
+            payloads = self._group_payloads(group[0])
+            outstanding[key] = len(payloads)
+            for backend, problem_data, options_data in payloads:
+                expected[key, backend] = expected.get((key, backend), 0) + 1
+                queue.append((key, backend, problem_data, options_data))
+
+        #: per-scope snapshot cache: exporting and pickling a scope is O(its
+        #: size), so reuse the snapshot until a merge actually changes the
+        #: pool (the only mutation point between dispatches on this path)
+        snapshots: "Dict[str, MemoSnapshot]" = {}
+        #: race-losing futures whose workers may still be running; their
+        #: learned deltas are harvested when they finish instead of dropped
+        zombies: "List[Future]" = []
+
+        def merge_delta(res: Dict[str, Any]) -> None:
+            snapshot = res.pop("memo_delta", None)
+            if snapshot is None:
+                return
+            try:
+                if self.verdict_memo.merge(snapshot):
+                    # only the touched scopes went stale; keep the rest warm
+                    for delta in snapshot.deltas:
+                        snapshots.pop(delta.scope, None)
+            except MemoMergeError as err:
+                self._warn_memo_conflict(err)
+
+        def settle(
+            key: _GroupKey, res: Dict[str, Any]
+        ) -> Tuple[_GroupKey, Dict[str, Any]]:
+            decided[key] = True
+            for other in list(pending):
+                if pending[other][0] != key:
+                    continue
+                other.cancel()
+                pending.pop(other, None)
+                zombies.append(other)
+            return key, res
+
+        def harvest_zombies() -> None:
+            """Merge deltas of finished race losers (their work is real)."""
+            for future in list(zombies):
+                if future.cancelled():
+                    zombies.remove(future)
+                    continue
+                if not future.done():
+                    continue
+                zombies.remove(future)
+                try:
+                    res = future.result()
+                except Exception:  # noqa: BLE001 — broken worker
+                    continue
+                if isinstance(res, dict):
+                    merge_delta(res)
+
+        def process(
+            key: _GroupKey, backend: str, res: Dict[str, Any]
+        ) -> Optional[Tuple[_GroupKey, Dict[str, Any]]]:
+            """Feed one payload result; returns the group verdict if settled."""
+            merge_delta(res)
+            if decided[key]:
+                return None  # a sibling already won the race
+            outstanding[key] -= 1
+            results = shard_results.setdefault((key, backend), [])
+            results.append(res)
+            # a plan, or a global infeasibility proof, wins immediately; a
+            # shard-local "my slice is exhausted" must wait for its siblings
+            if (
+                res["status"] in _DEFINITIVE
+                and res.get("infeasible_reason") != "shard"
+            ):
+                return settle(key, res)
+            if len(results) == expected[key, backend]:
+                verdict = _conclude_shards(results)
+                if verdict["status"] in _DEFINITIVE:
+                    return settle(key, verdict)
+                attempts[key].append(verdict)
+            if outstanding[key] == 0:
+                return settle(key, _best_failure(attempts[key]))
+            return None
+
+        def dispatch() -> List[Tuple[_GroupKey, Dict[str, Any]]]:
+            """Submit queued payloads up to the worker count.
+
+            Returns already-settled group verdicts when the pool broke: the
+            remaining groups each collapse onto *one* unsharded in-process
+            execution (racing slices sequentially could only lose time
+            against a single unrestricted search), so every job settles
+            even with a dead pool.
+            """
+            nonlocal pool_broken
+            while queue and not pool_broken and len(pending) < self.workers:
+                key, backend, problem_data, options_data = queue.popleft()
+                if decided[key]:
+                    continue  # the group settled while this payload queued
+                snapshot = None
+                scope = scope_of[key]
+                if scope is not None:
+                    snapshot = snapshots.get(scope)
+                    if snapshot is None:
+                        snapshot = self.verdict_memo.snapshot(scopes=(scope,))
+                        snapshots[scope] = snapshot
+                try:
                     future = executor.submit(
                         _execute_payload,
                         problem_data,
                         options_data,
                         backend,
-                        self.verdict_memo,
+                        memo_snapshot=snapshot,
                     )
+                except Exception:  # noqa: BLE001 — BrokenProcessPool etc.
+                    pool_broken = True
+                    queue.appendleft((key, backend, problem_data, options_data))
+                else:
                     pending[future] = (key, backend)
+            inline: List[Tuple[_GroupKey, Dict[str, Any]]] = []
+            if pool_broken and queue:
+                remaining = []
+                for key, _, _, _ in queue:
+                    if not decided[key] and key not in remaining:
+                        remaining.append(key)
+                queue.clear()
+                for key, res in self._execute_serial(
+                    {key: groups[key] for key in remaining}
+                ):
+                    inline.append(settle(key, res))
+            return inline
+
+        with executor:
+            yield from dispatch()
             while pending:
                 done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                ready = []
                 for future in done:
                     entry = pending.pop(future, None)
                     if entry is None:
-                        continue  # a sibling backend won while this one settled
+                        continue  # a sibling won while this one settled
                     key, backend = entry
                     try:
                         res = future.result()
@@ -369,23 +626,14 @@ class SynthesisService:
                             "seconds": 0.0,
                             "backend": backend,
                         }
-                    if decided[key]:
-                        continue  # a sibling backend already won the race
-                    attempts = state[key]
-                    attempts.append(res)
-                    outstanding = sum(
-                        1 for other_key, _ in pending.values() if other_key == key
-                    )
-                    if res["status"] in _DEFINITIVE:
-                        decided[key] = True
-                        for other in list(pending):
-                            if pending[other][0] == key:
-                                other.cancel()
-                                pending.pop(other, None)
-                        yield key, res
-                    elif outstanding == 0:
-                        decided[key] = True
-                        yield key, _best_failure(attempts)
+                    ready.append(process(key, backend, res))
+                harvest_zombies()  # fresher deltas for the next dispatch
+                ready.extend(dispatch())
+                yield from (verdict for verdict in ready if verdict is not None)
+            # shutdown blocks on uncancellable losers anyway — collect what
+            # they learned before the pool goes away
+            executor.shutdown(wait=True)
+            harvest_zombies()
 
     def _settle_group(
         self, group: List[SynthesisJob], payload: Dict[str, Any]

@@ -46,6 +46,12 @@ class SynthesisOptions:
     toggles the cross-candidate verdict memo (:mod:`repro.perf`); it is
     also excluded from the identity because memoization is
     verdict-preserving — the same plan is synthesized either way.
+    ``shards`` > 1 splits the order search space into that many disjoint
+    slices (:class:`~repro.synthesis.search.SearchShard`) raced on the
+    worker pool; it is likewise excluded from the identity — every shard's
+    plan is a correct plan for the same problem, so cached plans remain
+    interchangeable (which plan wins a race is not deterministic).
+    Sharding needs the pool: serial execution runs unsharded.
     """
 
     checker: str = "incremental"
@@ -57,6 +63,7 @@ class SynthesisOptions:
     timeout: Optional[float] = None
     portfolio: Tuple[str, ...] = ()
     memoize: bool = True
+    shards: int = 1
 
     def backends(self) -> Tuple[str, ...]:
         """The checker backends this job will try (portfolio or singleton)."""

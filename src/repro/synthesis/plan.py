@@ -33,6 +33,9 @@ class SearchStats:
     memo_probes: int = 0
     memo_hits: int = 0
     memo_pruned: int = 0
+    # intra-job search sharding: how many shards raced for this plan
+    # (0 = unsharded; set from SearchShard.total by the search)
+    shards: int = 0
     # per-phase wall time, attributed by the search loop and reported by
     # the `repro profile` harness
     labeling_seconds: float = 0.0
@@ -49,6 +52,7 @@ class SearchStats:
         self.memo_probes += other.memo_probes
         self.memo_hits += other.memo_hits
         self.memo_pruned += other.memo_pruned
+        self.shards = max(self.shards, other.shards)
         self.labeling_seconds += other.labeling_seconds
         self.sat_seconds += other.sat_seconds
         self.memo_seconds += other.memo_seconds

@@ -12,6 +12,7 @@ from repro.topo.gml import parse_gml
 from repro.topo.zoo import builtin_zoo, synthetic_zoo, zoo_topology
 from repro.topo.diamond import (
     DiamondScenario,
+    fan_diamond,
     chained_diamond,
     diamond_on_topology,
     double_diamond,
@@ -27,6 +28,7 @@ __all__ = [
     "synthetic_zoo",
     "zoo_topology",
     "DiamondScenario",
+    "fan_diamond",
     "chained_diamond",
     "diamond_on_topology",
     "ring_diamond",

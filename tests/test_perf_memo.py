@@ -1,7 +1,10 @@
 """Tests for the cross-candidate memoization layer (:mod:`repro.perf`)."""
 
+import pickle
+
 import pytest
 
+from repro.errors import MemoMergeError
 from repro.kripke.structure import KripkeStructure
 from repro.ltl import specs
 from repro.ltl.parser import parse
@@ -9,6 +12,8 @@ from repro.net.config import Configuration
 from repro.net.fields import TrafficClass
 from repro.net.rules import Forward, Pattern, Rule, Table
 from repro.perf import (
+    MemoDelta,
+    MemoSnapshot,
     SharedVerdictMemo,
     VerdictMemo,
     config_fingerprint,
@@ -16,6 +21,7 @@ from repro.perf import (
     scope_fingerprint,
     table_fingerprint,
 )
+from repro.perf.memo import MemoVerdict
 from repro.perf.profile import PROFILE_SCHEMA, run_profile
 from repro.scenarios import generate_corpus
 from repro.synthesis import UpdateSynthesizer, order_update
@@ -166,6 +172,121 @@ class TestVerdictMemo:
         # rerouting A1 breaks an edge of the trace: it must not re-embed
         structure.update_switch("A1", final.table("A1"))
         assert memo.find_refuting_trace(structure) is None
+
+
+def _sink_trace(structure):
+    """A genuine maximal trace: walk from an initial state to the sink."""
+    trace = [structure.initial_states[0]]
+    while not structure.is_sink(trace[-1]):
+        trace.append(structure.succ(trace[-1])[0])
+    return tuple(trace)
+
+
+class TestSnapshotMerge:
+    SPEC = parse("dst=H3 => F at(H3)")
+
+    def seeded_pool(self):
+        topo, init, _ = fig1()
+        structure = KripkeStructure(topo, init, {TC: ["H1"]})
+        trace = _sink_trace(structure)
+        pool = SharedVerdictMemo()
+        memo = pool.memo_for(topo, self.SPEC, {TC: ["H1"]})
+        memo.record("k-ok", True)
+        memo.record("k-bad", False, trace)
+        return topo, structure, trace, pool
+
+    def test_from_snapshot_seeds_verdicts_and_traces(self):
+        topo, structure, trace, pool = self.seeded_pool()
+        clone = SharedVerdictMemo.from_snapshot(pool.snapshot())
+        memo = clone.memo_for(topo, self.SPEC, {TC: ["H1"]})
+        assert memo.lookup("k-ok").ok
+        assert not memo.lookup("k-bad").ok
+        assert memo.find_refuting_trace(structure) == trace
+        assert memo.has_refutations
+        # seeding is context, not learning: only this process's probes count
+        assert memo.stats.probes == 2 and memo.stats.inserts == 0
+
+    def test_snapshot_scope_filter(self):
+        topo, _, _, pool = self.seeded_pool()
+        scope = scope_fingerprint(topo, self.SPEC, {TC: ["H1"]})
+        assert len(pool.snapshot(scopes=(scope,))) == 2
+        assert len(pool.snapshot(scopes=("no-such-scope",))) == 0
+        assert len(pool.snapshot()) == 2
+
+    def test_snapshot_survives_pickling(self):
+        topo, structure, trace, pool = self.seeded_pool()
+        snapshot = pickle.loads(pickle.dumps(pool.snapshot()))
+        memo = SharedVerdictMemo.from_snapshot(snapshot).memo_for(
+            topo, self.SPEC, {TC: ["H1"]}
+        )
+        assert memo.lookup("k-ok").ok
+        assert memo.find_refuting_trace(structure) == trace
+
+    def test_pickling_strips_cached_hashes(self):
+        """Cached hashes are process-salt-specific; pickles must drop them
+        so the receiving process rehashes equal objects consistently."""
+        topo, init, _ = fig1()
+        table = init.table("T1")
+        hash(table)  # populate the cache
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone._hash is None
+        assert clone == table and hash(clone) == hash(table)
+        state = KripkeStructure(topo, init, {TC: ["H1"]}).initial_states[0]
+        hash(state)
+        state_clone = pickle.loads(pickle.dumps(state))
+        assert "_hash" not in state_clone.__dict__
+        assert state_clone == state and hash(state_clone) == hash(state)
+
+    def test_drain_deltas_reports_only_new_entries(self):
+        topo, _, _, pool = self.seeded_pool()
+        worker = SharedVerdictMemo.from_snapshot(pool.snapshot(), track_deltas=True)
+        assert len(worker.drain_deltas()) == 0  # the seed is not a delta
+        memo = worker.memo_for(topo, self.SPEC, {TC: ["H1"]})
+        memo.record("k-new", False)
+        drained = worker.drain_deltas()
+        assert len(drained) == 1
+        assert drained.deltas[0].entries[0][0] == "k-new"
+        assert worker.drain_deltas().deltas == ()  # drained means drained
+
+    def test_merge_is_idempotent_and_conflict_checked(self):
+        topo, _, _, pool = self.seeded_pool()
+        worker = SharedVerdictMemo.from_snapshot(pool.snapshot(), track_deltas=True)
+        memo = worker.memo_for(topo, self.SPEC, {TC: ["H1"]})
+        memo.record("k-new", False)
+        memo.lookup("k-ok")
+        delta = worker.drain_deltas()
+        assert pool.merge(delta) == 1
+        assert pool.merge(delta) == 0  # racing workers may resend entries
+        merged_memo = pool.memo_for(topo, self.SPEC, {TC: ["H1"]})
+        assert not merged_memo.lookup("k-new").ok
+        assert merged_memo.stats.merged == 1
+        # the worker's probe counters were absorbed exactly once... plus the
+        # two lookups this test just made
+        assert pool.stats().probes >= 1
+        scope = scope_fingerprint(topo, self.SPEC, {TC: ["H1"]})
+        conflicting = MemoDelta(
+            scope=scope,
+            entries=(
+                ("k-fresh", MemoVerdict(True)),  # unseen, would be new
+                ("k-new", MemoVerdict(True)),    # contradicts the pool
+            ),
+        )
+        with pytest.raises(MemoMergeError):
+            pool.merge(MemoSnapshot(deltas=(conflicting,)))
+        # the refused snapshot must be applied atomically: the entry that
+        # preceded the conflict is not kept either
+        assert merged_memo.lookup("k-fresh") is None
+
+    def test_snapshot_entry_cap_keeps_most_recent(self):
+        topo, _, _, pool = self.seeded_pool()
+        memo = pool.memo_for(topo, self.SPEC, {TC: ["H1"]})
+        for i in range(8):
+            memo.record(f"k-extra-{i}", True)
+        capped = pool.snapshot(max_entries_per_scope=3)
+        assert len(capped) == 3
+        keys = [key for key, _ in capped.deltas[0].entries]
+        assert keys == ["k-extra-5", "k-extra-6", "k-extra-7"]
+        assert len(pool.snapshot(max_entries_per_scope=None)) == 10
 
 
 class TestSharedMemoAcrossJobs:

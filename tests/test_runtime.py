@@ -139,6 +139,37 @@ class TestTwoPhaseRules:
         steady = twophase.steady_state(topo, final, flows)
         assert steady.rule_count("T1") == final.rule_count("T1") + 1  # + stamp
 
+    def test_stamping_pattern_fields_are_canonically_sorted(self):
+        """Regression: stamp patterns used the class's raw field listing
+        while versioned_rules sorts — unsorted listings broke pattern
+        equality/hash against normalized tables."""
+        topo, _init, final, _flows = scenario()
+        unsorted_tc = TrafficClass("f13", (("src", "H1"), ("dst", "H3")))
+        stamps = twophase.stamping_rules(topo, final, {unsorted_tc: ("H1", "H3")})
+        (stamp,) = stamps["T1"]
+        assert stamp.pattern.fields == tuple(sorted(unsorted_tc.fields))
+        sorted_tc = TrafficClass("f13", tuple(sorted(unsorted_tc.fields)))
+        canonical = twophase.stamping_rules(topo, final, {sorted_tc: ("H1", "H3")})
+        assert stamp.pattern == canonical["T1"][0].pattern
+        assert hash(stamp.pattern) == hash(canonical["T1"][0].pattern)
+
+    def test_multicast_ingress_rejected(self):
+        """A final config that multicasts at the ingress cannot be stamped
+        by one forwarding rule; dropping copies silently is a bug."""
+        from repro.errors import ConfigurationError
+        from repro.net.rules import SetField
+
+        topo, _init, final, flows = scenario()
+        table = final.table("T1")
+        multicast = Rule(
+            max(r.priority for r in table) + 1,
+            Pattern.make(dst="H3"),
+            (Forward(1), SetField("typ", "copy"), Forward(2)),
+        )
+        broken = final.with_table("T1", Table(tuple(table) + (multicast,)))
+        with pytest.raises(ConfigurationError, match="multicast"):
+            twophase.stamping_rules(topo, broken, flows)
+
 
 class TestStrategies:
     def test_naive_bad_order_loses_probes(self):

@@ -122,9 +122,11 @@ class TestPlanRoundTrip:
 
     def test_plan_roundtrip(self):
         plan = self.make_plan()
+        plan.stats.shards = 4
         clone = plan_from_dict(plan_to_dict(plan), {TC.name: TC})
         assert clone.granularity == "rule"
         assert clone.commands == plan.commands
+        assert clone.stats.shards == 4
 
     def test_unknown_class_falls_back_to_nameonly(self):
         data = command_to_dict(RuleGranUpdate("A1", TC, Table([])))
@@ -183,6 +185,46 @@ class TestPlanCache:
             cache.put("k", UpdatePlan([]))
             cache.persist_stats()
         assert disk_cache_summary(directory)["counters"]["puts"] == 2
+
+    def test_persist_stats_closes_lock_handle_when_flock_fails(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: a lock file opened successfully must be closed when
+        flock itself refuses — the lockless fallback used to leak the fd.
+        The fallback also warns (once per process), instead of silently
+        risking lost increments."""
+        import builtins
+        import fcntl
+
+        from repro.service import cache as cache_module
+
+        def refuse_flock(handle, flags):
+            raise OSError("locks not supported here")
+
+        opened = []
+        real_open = builtins.open
+
+        def tracking_open(path, *args, **kwargs):
+            handle = real_open(path, *args, **kwargs)
+            if str(path).endswith(".lock"):
+                opened.append(handle)
+            return handle
+
+        monkeypatch.setattr(fcntl, "flock", refuse_flock)
+        monkeypatch.setattr(builtins, "open", tracking_open)
+        monkeypatch.setattr(cache_module, "_warned_lockless", False)
+        cache = PlanCache(directory=str(tmp_path / "cache"))
+        cache.put("k", UpdatePlan([]))
+        with pytest.warns(RuntimeWarning, match="lockless"):
+            cache.persist_stats()
+        assert len(opened) == 1 and opened[0].closed
+        # the stats still merged, and the warning fires only once
+        assert disk_cache_summary(str(tmp_path / "cache"))["counters"]["puts"] == 1
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            cache.persist_stats()
 
 
 # ----------------------------------------------------------------------
@@ -331,6 +373,174 @@ class TestServicePool:
             }
         assert plans[0] == plans[2]
 
+    def test_pool_merges_worker_deltas_into_service_memo(self):
+        """Workers return their learned memo delta; the engine folds it into
+        the service pool, so service-level counters see worker activity and
+        later-dispatched jobs inherit earlier jobs' verdicts."""
+        from repro.scenarios import generate_corpus
+
+        records = generate_corpus("smoke", quick=True)
+        record = next(
+            r for r in records if r.scenario_id == "diamond/chained2x2/chain/baseline"
+        )
+        forward = record.problem
+        reverse = Problem(
+            topology=forward.topology,
+            ingresses=forward.ingresses,
+            init=forward.final,
+            final=forward.init,
+            spec=forward.spec,
+            spec_text=forward.spec_text,
+        )
+        service = SynthesisService(workers=2)
+        opts = SynthesisOptions(granularity=record.granularity)
+        service.submit(forward, job_id="fwd", options=opts)
+        service.submit(reverse, job_id="rev", options=opts)
+        # same problem under a different budget: a third group on the same
+        # memo scope, dispatched after a slot frees up — it starts from the
+        # merged deltas of whichever sibling finished first
+        service.submit(forward, job_id="warm", options=opts, timeout=120.0)
+        results = {r.job_id: r for r in service.stream()}
+        assert all(r.status is JobStatus.DONE for r in results.values())
+        memo = service.metrics_dict()["verdict_memo"]
+        assert memo["merged"] > 0, "no worker delta reached the service pool"
+        assert memo["hits"] > 0
+        assert memo["scopes"] == 1
+
+
+class TestServiceShards:
+    def test_sharded_job_finds_a_valid_plan(self):
+        service = SynthesisService(workers=2)
+        service.submit(
+            scenario_problem(ring_diamond(8, seed=2)),
+            job_id="hard",
+            options=SynthesisOptions(shards=4),
+        )
+        result = service.run()[0]
+        assert result.status is JobStatus.DONE
+        assert result.plan.stats.shards == 4
+        assert result.plan.num_updates() > 0
+
+    def test_single_sharded_job_uses_the_pool(self):
+        # one job, one backend, shards=4 → 4 tasks: worth spinning up the
+        # pool even though there is only one job (the point of sharding)
+        service = SynthesisService(workers=2)
+        service.submit(
+            fig1_problem(), options=SynthesisOptions(shards=4)
+        )
+        result = service.run()[0]
+        assert result.status is JobStatus.DONE
+        assert result.plan.stats.shards == 4
+
+    def test_all_shards_exhausted_is_global_infeasibility(self):
+        service = SynthesisService(workers=2)
+        service.submit(
+            scenario_problem(double_diamond(8, seed=1)),
+            job_id="impossible",
+            options=SynthesisOptions(shards=3, use_early_termination=False),
+        )
+        result = service.run()[0]
+        assert result.status is JobStatus.INFEASIBLE
+        assert "shard" in result.message
+
+    def test_serial_path_ignores_sharding(self):
+        service = SynthesisService(workers=0)
+        service.submit(fig1_problem(), options=SynthesisOptions(shards=4))
+        result = service.run()[0]
+        assert result.status is JobStatus.DONE
+        assert result.plan.stats.shards == 0  # ran unsharded
+
+
+class TestServicePoolFailures:
+    """The pool path must settle every job — no job left RUNNING — under
+    worker errors, race cancellations, and a breaking pool."""
+
+    def assert_all_settled(self, jobs, results):
+        assert set(results) == {job.job_id for job in jobs}
+        for job in jobs:
+            assert job.status.terminal, f"{job.job_id} left {job.status}"
+
+    def test_worker_error_settles_the_job(self):
+        service = SynthesisService(workers=2)
+        jobs = [
+            service.submit(
+                fig1_problem(),
+                job_id="boom",
+                options=SynthesisOptions(checker="no-such-backend"),
+            ),
+            service.submit(fig1_problem(), job_id="ok"),
+        ]
+        results = {r.job_id: r for r in service.stream()}
+        self.assert_all_settled(jobs, results)
+        assert results["boom"].status is JobStatus.ERROR
+        assert results["ok"].status is JobStatus.DONE
+
+    def test_portfolio_cancellation_across_groups(self):
+        # two portfolio groups on two workers: each group's first definitive
+        # verdict cancels (or skips) the sibling backend's payload
+        service = SynthesisService(workers=2)
+        opts = SynthesisOptions(portfolio=("incremental", "batch"))
+        jobs = [
+            service.submit(fig1_problem(), job_id="feasible", options=opts),
+            service.submit(
+                scenario_problem(double_diamond(8, seed=1)),
+                job_id="impossible",
+                options=opts,
+            ),
+        ]
+        results = {r.job_id: r for r in service.stream()}
+        self.assert_all_settled(jobs, results)
+        assert results["feasible"].status is JobStatus.DONE
+        assert results["impossible"].status is JobStatus.INFEASIBLE
+
+    def test_broken_process_pool_mid_batch_degrades_inline(self, monkeypatch):
+        """First submission's worker dies, the next submission raises
+        BrokenProcessPool: remaining payloads must run inline and every job
+        must still settle."""
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.service import engine as engine_module
+
+        class BreakingExecutor:
+            def __init__(self, max_workers):
+                self.calls = 0
+
+            def submit(self, fn, *args, **kwargs):
+                self.calls += 1
+                if self.calls == 1:
+                    future = Future()
+                    future.set_exception(BrokenProcessPool("worker died"))
+                    return future
+                raise BrokenProcessPool("pool is dead")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+        monkeypatch.setattr(engine_module, "ProcessPoolExecutor", BreakingExecutor)
+        service = SynthesisService(workers=2)
+        jobs = [
+            service.submit(fig1_problem(), job_id="first"),
+            service.submit(
+                scenario_problem(ring_diamond(6, seed=3)), job_id="second"
+            ),
+            service.submit(
+                scenario_problem(double_diamond(8, seed=1)), job_id="third"
+            ),
+        ]
+        results = {r.job_id: r for r in service.stream()}
+        self.assert_all_settled(jobs, results)
+        assert results["first"].status is JobStatus.ERROR
+        assert "BrokenProcessPool" in results["first"].message
+        assert results["second"].status is JobStatus.DONE
+        assert results["third"].status is JobStatus.INFEASIBLE
+
 
 # ----------------------------------------------------------------------
 # CLI integration
@@ -405,6 +615,26 @@ class TestBatchCli:
         with pytest.raises(SystemExit):
             main(["batch", path, "--portfolio", "increnemtal"])
         assert "unknown backend" in capsys.readouterr().err
+
+    def test_batch_shards_flag(self, tmp_path, capsys):
+        path = self.write_jsonl(tmp_path, self.batch_docs()[:1])
+        assert main(["batch", path, "--workers", "2", "--shards", "2"]) == 0
+        entry = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert entry["status"] == "done"
+        assert entry["plan"]["stats"]["shards"] == 2
+
+    def test_batch_rejects_bad_shards(self, tmp_path, capsys):
+        path = self.write_jsonl(tmp_path, self.batch_docs()[:1])
+        assert main(["batch", path, "--shards", "0"]) == 4
+        assert "--shards" in capsys.readouterr().err
+
+    def test_batch_serial_shards_warns(self, tmp_path, capsys):
+        path = self.write_jsonl(tmp_path, self.batch_docs()[:1])
+        assert main(["batch", path, "--serial", "--shards", "2",
+                     "--no-plans"]) == 0
+        captured = capsys.readouterr()
+        assert "running unsharded" in captured.err
+        assert json.loads(captured.out.splitlines()[0])["status"] == "done"
 
     def test_batch_portfolio_accepts_spaces(self, tmp_path, capsys):
         path = self.write_jsonl(tmp_path, self.batch_docs()[:1])

@@ -6,7 +6,17 @@ Subcommands:
   :mod:`repro.net.serialize` for the format) and print the plan (or the
   infeasibility verdict).  ``--json`` emits the plan machine-readably.
 * ``check PROBLEM.json`` — model check the problem's *initial* (or, with
-  ``--final``, final) configuration against its specification.
+  ``--final``, final) configuration against its specification.  ``--json``
+  emits the verdict machine-readably (ok flag, counterexample trace,
+  checker backend, build/check timings), mirroring ``synthesize --json``.
+* ``serve`` — run the long-lived synthesis server: the continuous
+  scheduler core behind the ``repro-api/1`` HTTP JSON API
+  (:mod:`repro.service.server`).  ``POST /v1/jobs`` accepts single and
+  batch submissions; jobs from independent clients share the plan cache,
+  the verdict-memo pool, and fingerprint coalescing.
+* ``submit PROBLEM.json --server URL`` — submit one problem to a running
+  server and (by default) wait for the verdict; exit codes match
+  ``synthesize`` exactly (0 plan, 2 infeasible, 3 timeout, 4 parse).
 * ``demo NAME`` — write a ready-made problem file (``fig1-green``,
   ``fig1-blue``, ``double-diamond``) to stdout, for experimenting with the
   other subcommands.
@@ -22,7 +32,9 @@ Subcommands:
   ``"granularity"`` keys.  ``--shards N`` races N disjoint slices of each
   job's search space across the worker pool.  An empty (or comment-only)
   file is a valid empty batch: the result stream is empty and the exit
-  status is 0.
+  status is 0.  With ``--server URL`` the batch routes through
+  :class:`~repro.service.client.ReproClient` to a running ``repro serve``
+  instead of an in-process engine — same JSONL output, same exit codes.
 * ``corpus --suite NAME`` — generate a deterministic scenario corpus
   (:mod:`repro.scenarios`) in the ``batch`` JSONL format.
 * ``bench --suite NAME`` — run a scenario suite through the service engine
@@ -38,17 +50,19 @@ Subcommands:
 * ``cache-stats DIR`` — summarize an on-disk plan cache directory
   (entry count, bytes, cumulative hit/miss counters).
 
-Exit status codes:
+Exit status codes (the shared taxonomy lives in :mod:`repro.errors` —
+:func:`repro.errors.exit_code_for` — and is also what the server's error
+envelope carries, so every front-end agrees):
 
 * ``0`` — success (for ``batch``: every job settled without an ``error``
   status; individual ``infeasible``/``timeout`` verdicts are *results*, not
   failures, and are reported in the output stream);
 * ``1`` — generic failure (library error, violation found by ``check``,
   some ``batch`` job errored);
-* ``2`` — the synthesis problem is infeasible (``synthesize``);
-* ``3`` — synthesis exceeded its time budget (``synthesize``);
+* ``2`` — the synthesis problem is infeasible (``synthesize``, ``submit``);
+* ``3`` — synthesis exceeded its time budget (``synthesize``, ``submit``);
 * ``4`` — input could not be parsed (bad problem file, LTL syntax error,
-  malformed JSONL line).
+  malformed JSONL line, bad request document).
 """
 
 from __future__ import annotations
@@ -59,13 +73,19 @@ import sys
 from typing import List, Optional
 
 from repro.errors import (
+    EXIT_FAILURE,
+    EXIT_INFEASIBLE,
+    EXIT_OK,
+    EXIT_PARSE_ERROR,
+    EXIT_TIMEOUT,
     ParseError,
     ReproError,
     SynthesisTimeout,
     UpdateInfeasibleError,
+    exit_code_for,
 )
 from repro.kripke.structure import KripkeStructure
-from repro.mc.interface import make_checker
+from repro.mc.interface import CHECKER_NAMES, make_checker
 from repro.net.config import Configuration
 from repro.net.fields import TrafficClass
 from repro.net.serialize import (
@@ -78,14 +98,15 @@ from repro.net.serialize import (
 from repro.synthesis import UpdateSynthesizer
 from repro.topo import double_diamond, mini_datacenter
 
-#: CLI exit codes (documented in the module docstring).
-EXIT_OK = 0
-EXIT_FAILURE = 1
-EXIT_INFEASIBLE = 2
-EXIT_TIMEOUT = 3
-EXIT_PARSE_ERROR = 4
+# Exit codes and checker names are re-exported here for backwards
+# compatibility; the canonical definitions live in repro.errors (shared
+# with the wire-API error envelope) and repro.mc.interface.
+__all__ = [
+    "EXIT_OK", "EXIT_FAILURE", "EXIT_INFEASIBLE", "EXIT_TIMEOUT",
+    "EXIT_PARSE_ERROR", "CHECKERS", "build_parser", "main",
+]
 
-CHECKERS = ["incremental", "batch", "automaton", "symbolic", "nusmv", "netplumber"]
+CHECKERS = list(CHECKER_NAMES)
 
 
 def _demo_problem(name: str) -> Problem:
@@ -152,10 +173,10 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         )
     except UpdateInfeasibleError as err:
         print(f"INFEASIBLE ({err.reason}): {err}")
-        return EXIT_INFEASIBLE
+        return exit_code_for(err)
     except SynthesisTimeout as err:
         print(f"TIMEOUT: {err}")
-        return EXIT_TIMEOUT
+        return exit_code_for(err)
     if args.json:
         json.dump(plan_to_dict(plan), sys.stdout, indent=2)
         sys.stdout.write("\n")
@@ -173,21 +194,49 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    import time as time_module
+
     problem = load_problem(args.problem)
     config = problem.final if args.final else problem.init
+    build_start = time_module.perf_counter()
     structure = KripkeStructure(problem.topology, config, problem.ingresses)
     checker = make_checker(args.checker, structure, problem.spec)
+    build_seconds = time_module.perf_counter() - build_start
+    check_start = time_module.perf_counter()
     result = checker.full_check()
+    check_seconds = time_module.perf_counter() - check_start
     which = "final" if args.final else "initial"
+    if args.json:
+        # machine-readable verdict, mirroring what `synthesize --json`
+        # emits for plans (used by the CI server smoke test)
+        document = {
+            "ok": result.ok,
+            "configuration": which,
+            "spec": problem.spec_text,
+            "checker": getattr(checker, "name", args.checker),
+            "counterexample": (
+                [str(state) for state in result.counterexample]
+                if result.counterexample
+                else None
+            ),
+            "timings": {
+                "build_seconds": round(build_seconds, 6),
+                "check_seconds": round(check_seconds, 6),
+                "total_seconds": round(build_seconds + check_seconds, 6),
+            },
+        }
+        json.dump(document, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return EXIT_OK if result.ok else EXIT_FAILURE
     if result.ok:
         print(f"OK: the {which} configuration satisfies {problem.spec_text!r}")
-        return 0
+        return EXIT_OK
     print(f"VIOLATION: the {which} configuration violates {problem.spec_text!r}")
     if result.counterexample:
         print("counterexample trace:")
         for state in result.counterexample:
             print(f"  {state}")
-    return 1
+    return EXIT_FAILURE
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -364,31 +413,151 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         memoize=not args.no_memo,
         shards=args.shards,
     )
-    service = SynthesisService(
-        workers=0 if args.serial else args.workers,
-        cache_dir=args.cache_dir,
-        default_options=options,
-    )
-    if args.shards > 1 and service.workers <= 1:
-        print(
-            f"warning: --shards {args.shards} needs a worker pool "
-            f"(resolved workers: {service.workers}); running unsharded",
-            file=sys.stderr,
+    if args.server:
+        # thin-client mode: the scheduler (and its --workers/--cache-dir
+        # style configuration) lives in the `repro serve` process
+        from repro.api import SynthesisRequest
+        from repro.service import ReproClient
+
+        for flag, name in (
+            (args.workers is not None, "--workers"),
+            (args.serial, "--serial"),
+            (args.cache_dir is not None, "--cache-dir"),
+        ):
+            if flag:
+                print(
+                    f"warning: {name} is ignored with --server "
+                    "(configure `repro serve` instead)",
+                    file=sys.stderr,
+                )
+        engine = ReproClient(args.server, default_options=options)
+        requests = []
+        for job_id, timeout, granularity, problem in jobs:
+            opts = (
+                options
+                if granularity is None
+                else replace(options, granularity=granularity)
+            )
+            if timeout is not None:
+                opts = opts.with_timeout(timeout)
+            requests.append(
+                SynthesisRequest(problem=problem, options=opts, job_id=job_id)
+            )
+        if requests:
+            engine.submit_requests(requests)  # one POST for the whole batch
+    else:
+        engine = SynthesisService(
+            workers=0 if args.serial else args.workers,
+            cache_dir=args.cache_dir,
+            default_options=options,
         )
-    for job_id, timeout, granularity, problem in jobs:
-        opts = options if granularity is None else replace(options, granularity=granularity)
-        service.submit(problem, job_id=job_id, timeout=timeout, options=opts)
+        if args.shards > 1 and engine.workers <= 1:
+            print(
+                f"warning: --shards {args.shards} needs a worker pool "
+                f"(resolved workers: {engine.workers}); running unsharded",
+                file=sys.stderr,
+            )
+        for job_id, timeout, granularity, problem in jobs:
+            opts = (
+                options
+                if granularity is None
+                else replace(options, granularity=granularity)
+            )
+            engine.submit(problem, job_id=job_id, timeout=timeout, options=opts)
     errored = False
-    for result in service.stream():
+    for result in engine.stream():
         errored = errored or result.status.value == "error"
         json.dump(result.to_dict(include_plan=not args.no_plans), sys.stdout)
         sys.stdout.write("\n")
         sys.stdout.flush()
-    service.cache.persist_stats()
+    if not args.server:
+        engine.cache.persist_stats()
     if args.stats:
-        json.dump(service.metrics_dict(), sys.stderr, indent=2)
+        json.dump(engine.metrics_dict(), sys.stderr, indent=2)
         sys.stderr.write("\n")
     return EXIT_FAILURE if errored else EXIT_OK
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service import ReproServer, SynthesisOptions
+
+    if args.shards < 1:
+        raise ParseError(f"--shards must be >= 1, got {args.shards}")
+    options = SynthesisOptions(
+        checker=args.checker,
+        granularity=args.granularity,
+        timeout=args.timeout,
+        portfolio=args.portfolio or (),
+        memoize=not args.no_memo,
+        shards=args.shards,
+    )
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        workers=0 if args.serial else args.workers,
+        cache_dir=args.cache_dir,
+        default_options=options,
+        verbose=args.verbose,
+    )
+
+    def _sigterm(signum, frame):  # noqa: ARG001 — signal handler signature
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    print(
+        f"repro-api/1 serving on {server.url} "
+        f"(workers: {server.service.workers})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("shutting down: draining in-flight work...", flush=True)
+        server.close()
+        server.service.cache.persist_stats()
+    return EXIT_OK
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ReproClient
+
+    problem = load_problem(args.problem)
+    # send only the options the user chose (a sparse document): the rest —
+    # including a bare `repro submit` — defer to the server's defaults
+    options_data = {}
+    if args.checker is not None:
+        options_data["checker"] = args.checker
+    if args.granularity is not None:
+        options_data["granularity"] = args.granularity
+    if args.timeout is not None:
+        options_data["timeout"] = args.timeout
+    if args.portfolio is not None:
+        options_data["portfolio"] = list(args.portfolio)
+    client = ReproClient(args.server)
+    view = client.submit(
+        problem, job_id=args.id, options_data=options_data or None
+    )
+    if args.no_wait:
+        json.dump(view.to_dict(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return EXIT_OK
+    result = client.result(view.job_id)
+    if args.json or result.status.value != "done":
+        json.dump(result.to_dict(include_plan=not args.no_plans), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        plan = result.plan
+        print(plan.summary())
+        for command in plan.commands:
+            print(f"  {command}")
+        origin = "plan cache" if result.cached else f"backend {result.backend}"
+        print(f"served by {args.server} ({origin}) in {result.seconds:.3f}s")
+    # one job's verdict decides the process exit status, like `synthesize`
+    return exit_code_for(result.status.value)
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
@@ -516,7 +685,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--final", action="store_true",
                          help="check the final instead of the initial configuration")
     p_check.add_argument("--checker", default="incremental", choices=CHECKERS)
+    p_check.add_argument("--json", action="store_true",
+                         help="emit the verdict (ok flag, counterexample "
+                              "trace, backend, timings) as JSON")
     p_check.set_defaults(fn=_cmd_check)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived synthesis server (repro-api/1)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8421,
+                         help="bind port (default 8421; 0 picks a free port)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="worker pool size (default: one per core, capped at 8)")
+    p_serve.add_argument("--serial", action="store_true",
+                         help="run jobs in-process instead of on the worker pool")
+    p_serve.add_argument("--checker", default="incremental", choices=CHECKERS,
+                         help="default checker for requests that don't choose one")
+    p_serve.add_argument("--granularity", default="switch", choices=["switch", "rule"])
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="default per-job timeout in seconds")
+    p_serve.add_argument("--portfolio", default=None, metavar="B1,B2",
+                         type=_portfolio_arg,
+                         help="default backend portfolio raced per job")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="default search-shard count per job")
+    p_serve.add_argument("--no-memo", action="store_true",
+                         help="disable the cross-candidate verdict memo")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="persist the plan cache to this directory")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log each HTTP request to stderr")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one problem to a running repro serve"
+    )
+    p_submit.add_argument("problem", help="path to a problem JSON file")
+    p_submit.add_argument("--server", required=True, metavar="URL",
+                          help="base URL of a running server "
+                               "(e.g. http://127.0.0.1:8421)")
+    p_submit.add_argument("--id", default=None, help="job id (default: server-assigned)")
+    p_submit.add_argument("--checker", default=None, choices=CHECKERS,
+                          help="checker backend (default: the server's)")
+    p_submit.add_argument("--granularity", default=None,
+                          choices=["switch", "rule"],
+                          help="update granularity (default: the server's)")
+    p_submit.add_argument("--timeout", type=float, default=None,
+                          help="per-job budget in seconds (default: the server's)")
+    p_submit.add_argument("--portfolio", default=None, metavar="B1,B2",
+                          type=_portfolio_arg,
+                          help="race these comma-separated checker backends")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="print the queued job view and return immediately")
+    p_submit.add_argument("--no-plans", action="store_true",
+                          help="omit the plan body from the result document")
+    p_submit.add_argument("--json", action="store_true",
+                          help="emit the full result document as JSON")
+    p_submit.set_defaults(fn=_cmd_submit)
 
     p_batch = sub.add_parser(
         "batch", help="run a JSONL file of problems through the batch service"
@@ -524,6 +751,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "problems", help="path to a JSONL problems file ('-' for stdin)"
     )
+    p_batch.add_argument("--server", default=None, metavar="URL",
+                         help="route the batch through a running `repro serve` "
+                              "at this base URL instead of an in-process engine")
     p_batch.add_argument("--workers", type=int, default=None,
                          help="worker pool size (default: one per core, capped at 8)")
     p_batch.add_argument("--serial", action="store_true",
@@ -648,18 +878,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         except BrokenPipeError:
             pass
         return EXIT_OK
-    except ParseError as err:
-        print(f"parse error: {err}", file=sys.stderr)
-        return EXIT_PARSE_ERROR
-    except UpdateInfeasibleError as err:
-        print(f"infeasible: {err}", file=sys.stderr)
-        return EXIT_INFEASIBLE
-    except SynthesisTimeout as err:
-        print(f"timeout: {err}", file=sys.stderr)
-        return EXIT_TIMEOUT
-    except ReproError as err:
-        print(f"error: {err}", file=sys.stderr)
+    except KeyboardInterrupt:
         return EXIT_FAILURE
+    except ReproError as err:
+        # one shared mapping (repro.errors.exit_code_for) classifies every
+        # library error into the four exit-code families
+        labels = {
+            EXIT_PARSE_ERROR: "parse error",
+            EXIT_INFEASIBLE: "infeasible",
+            EXIT_TIMEOUT: "timeout",
+            EXIT_FAILURE: "error",
+        }
+        code = exit_code_for(err)
+        print(f"{labels[code]}: {err}", file=sys.stderr)
+        return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -50,6 +50,19 @@ class ModelChecker(Protocol):
         ...
 
 
+#: Names :func:`make_checker` accepts, in the order the CLI advertises them.
+#: Shared by the CLI's ``--checker`` choices and the wire-API option
+#: validation so the two surfaces cannot drift.
+CHECKER_NAMES = (
+    "incremental",
+    "batch",
+    "automaton",
+    "symbolic",
+    "nusmv",
+    "netplumber",
+)
+
+
 def make_checker(kind: str, structure, formula, *, engine=None) -> "ModelChecker":
     """Construct a checker backend by name.
 

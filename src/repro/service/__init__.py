@@ -1,7 +1,7 @@
-"""Batch synthesis service: job queue, worker pool, content-addressed cache.
+"""The synthesis service: persistent scheduler core plus front-ends.
 
 This subsystem turns the one-shot :class:`~repro.synthesis.UpdateSynthesizer`
-into a throughput engine for serving many update-synthesis requests:
+into a long-lived scheduler serving many update-synthesis requests:
 
 * :mod:`repro.service.fingerprint` — canonical, order-insensitive content
   hashing of synthesis problems;
@@ -9,10 +9,16 @@ into a throughput engine for serving many update-synthesis requests:
   keyed by fingerprint;
 * :mod:`repro.service.jobs` — job/result dataclasses and the job lifecycle;
 * :mod:`repro.service.engine` — the :class:`SynthesisService` scheduler
-  (cache-first, multiprocessing pool with serial fallback, portfolio mode);
-* :mod:`repro.service.metrics` — throughput/latency/cache-rate counters.
+  core (continuous submission, cache-first, multiprocessing pool with
+  serial fallback, portfolio mode, cross-submission coalescing);
+* :mod:`repro.service.metrics` — throughput/latency/cache-rate counters
+  plus the live gauges the HTTP metrics endpoint reports;
+* :mod:`repro.service.server` — :class:`ReproServer`, the ``repro-api/1``
+  HTTP front-end (:mod:`repro.api` defines the wire documents);
+* :mod:`repro.service.client` — :class:`ReproClient`, the thin client
+  mirroring the :class:`SynthesisService` surface over HTTP.
 
-Quickstart::
+Quickstart (in-process batch)::
 
     from repro.service import SynthesisService, SynthesisOptions
 
@@ -22,11 +28,21 @@ Quickstart::
         print(result.job_id, result.status.value, result.cached)
     print(service.metrics_dict())
 
-The ``python -m repro batch`` subcommand is a thin CLI wrapper around this
-package.
+Quickstart (server + thin client)::
+
+    from repro.service import ReproClient, ReproServer
+
+    with ReproServer(port=0, workers=4) as server:
+        client = ReproClient(server.url)
+        view = client.submit(problem, timeout=30.0)
+        result = client.result(view.job_id)
+
+The ``python -m repro batch`` / ``serve`` / ``submit`` subcommands are
+thin CLI wrappers around this package.
 """
 
 from repro.service.cache import CacheStats, PlanCache, disk_cache_summary
+from repro.service.client import ReproClient
 from repro.service.engine import SynthesisService, default_worker_count
 from repro.service.fingerprint import (
     canonical_problem,
@@ -39,12 +55,15 @@ from repro.service.jobs import (
     SynthesisOptions,
 )
 from repro.service.metrics import ServiceMetrics
+from repro.service.server import ReproServer
 
 __all__ = [
     "CacheStats",
     "JobResult",
     "JobStatus",
     "PlanCache",
+    "ReproClient",
+    "ReproServer",
     "ServiceMetrics",
     "SynthesisJob",
     "SynthesisOptions",

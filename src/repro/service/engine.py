@@ -1,12 +1,13 @@
-"""The batch synthesis service: cache-first scheduling over a worker pool.
+"""The synthesis scheduler: a persistent, cache-first core over a worker pool.
 
 :class:`SynthesisService` turns the one-shot
-:class:`~repro.synthesis.UpdateSynthesizer` into a throughput engine.  Jobs
-flow through three stages:
+:class:`~repro.synthesis.UpdateSynthesizer` into a long-lived scheduler.
+Jobs flow through three stages:
 
 1. **fingerprint** — every submitted problem is content-hashed
-   (:mod:`repro.service.fingerprint`); identical problems submitted twice in
-   one batch are *coalesced* onto a single execution;
+   (:mod:`repro.service.fingerprint`); identical problems submitted twice —
+   whether in one batch or by *independent* callers while the first is in
+   flight — are *coalesced* onto a single execution;
 2. **cache** — the :class:`~repro.service.cache.PlanCache` is consulted
    first, so re-submitted problems are answered without synthesis;
 3. **pool** — cache misses are executed on a ``multiprocessing`` worker pool
@@ -15,6 +16,23 @@ flow through three stages:
    unavailable.  In *portfolio* mode each job races several checker
    backends and the first definitive verdict (a plan, or a proof of
    infeasibility) wins.
+
+Scheduling is **continuous**: :meth:`SynthesisService.submit` is legal at
+any time, including while execution is in flight.  A single scheduler
+thread drains the submission queue in micro-batches; it starts lazily on
+the first consumer call (:meth:`stream`, :meth:`run`, :meth:`result`,
+:meth:`drain`) and exits once the queue runs dry, or is started
+explicitly via :meth:`start` (what the HTTP server does) and then stays
+resident until :meth:`close`.  While no scheduler is running,
+submissions simply queue — which keeps the classic ``submit_many →
+stream()`` batch idiom fully deterministic: every job is pending when
+the stream begins, so duplicates coalesce exactly as they did when the
+service was batch-only, and a dropped batch-style service leaks no
+thread.  ``run``/``stream``
+are now *views* over the scheduler: they claim the caller's undelivered
+jobs and surface each result as it settles.  :meth:`result` waits on one
+job, :meth:`poll` snapshots every job's status, :meth:`cancel` withdraws a
+still-queued job, and :meth:`drain` blocks until the service is idle.
 
 Problems and plans cross the process boundary as JSON-safe dicts
 (:func:`~repro.net.serialize.problem_to_dict`,
@@ -28,8 +46,10 @@ every dispatched payload carries a snapshot of its job's memo scope taken
 *at dispatch time*, the worker seeds a delta-tracking pool from it, and
 the learned delta returns with the result for the engine to merge — so
 later-scheduled jobs (and later-dispatched shards of one job) start from
-everything the batch has already learned.  In the CDCL framing this is
-clause sharing between parallel solvers.
+everything the service has already learned, across *independent*
+submissions, not just within one batch.  In the CDCL framing this is
+clause sharing between parallel solvers, with the memo and plan cache
+kept hot across requests instead of rebuilt per batch.
 
 Hard jobs can additionally be *sharded*: ``SynthesisOptions.shards = N``
 splits the order search space into N disjoint slices
@@ -43,6 +63,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 import time
 import warnings
 from collections import deque
@@ -56,10 +77,16 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
-from repro.errors import MemoMergeError, SynthesisTimeout, UpdateInfeasibleError
+from repro.errors import (
+    MemoMergeError,
+    ReproError,
+    SynthesisTimeout,
+    UpdateInfeasibleError,
+)
 from repro.net.serialize import (
     Problem,
     plan_from_dict,
@@ -80,6 +107,12 @@ _DEFINITIVE = (JobStatus.DONE.value, JobStatus.INFEASIBLE.value)
 #: Jobs coalesce onto one execution only when both the problem fingerprint
 #: and the time budget agree (a "timeout" verdict is budget-specific).
 _GroupKey = Tuple[str, Optional[float]]
+
+#: Settled results retained for ``result()``/``GET /v1/jobs/{id}`` lookups.
+#: A long-lived server must not grow memory with every job ever served;
+#: beyond this many known jobs, the oldest *delivered* settled results are
+#: evicted (a later lookup of an evicted id raises ``KeyError``).
+RESULT_RETENTION = 4096
 
 
 def _execute_payload(
@@ -237,6 +270,11 @@ class SynthesisService:
             create one (``cache_dir``/``cache_capacity`` configure it).
         default_options: :class:`SynthesisOptions` applied to ``submit``
             calls that don't bring their own.
+
+    All public methods are thread-safe; the HTTP front-end
+    (:mod:`repro.service.server`) calls them from handler threads while the
+    scheduler thread executes.  The service is a context manager —
+    ``with SynthesisService() as service: ...`` closes it on exit.
     """
 
     def __init__(
@@ -259,9 +297,84 @@ class SynthesisService:
         # workers' learned deltas back (see the module docstring).
         self.verdict_memo = SharedVerdictMemo()
         self._memo_conflict_warned = False
-        self._pending: List[SynthesisJob] = []
-        self._last_order: List[str] = []
         self._ids = itertools.count(1)
+        # scheduler state, all guarded by the condition's lock.  The cv is
+        # notified on every publication and queue append.
+        self._cv = threading.Condition()
+        self._queue: Deque[SynthesisJob] = deque()
+        self._jobs: Dict[str, SynthesisJob] = {}
+        self._results: Dict[str, JobResult] = {}
+        self._order: List[str] = []
+        # delivered = claimed by a stream()/drain() (drives what the next
+        # stream picks up); consumed = actually handed to a caller (drives
+        # eviction: a claimed-but-unread result must never be evicted)
+        self._delivered: Set[str] = set()
+        self._consumed: Set[str] = set()
+        # ids with a blocked result() waiter (refcounted): never evicted,
+        # or the waiter could hang on a result that vanished under it
+        self._watchers: Dict[str, int] = {}
+        # (fingerprint, timeout) groups currently executing; submissions
+        # matching one attach to it instead of queueing a second execution
+        self._active: Dict[_GroupKey, List[SynthesisJob]] = {}
+        self._thread: Optional[threading.Thread] = None
+        # explicit start() makes the scheduler resident (server mode);
+        # consumer-auto-started threads exit once the queue runs dry, so a
+        # dropped batch-style service leaks no parked thread
+        self._persistent = False
+        self._closed = False
+        self._last_order: List[str] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, *, persistent: bool = True) -> "SynthesisService":
+        """Start the scheduler thread (idempotent).
+
+        ``stream``/``run``/``result``/``drain`` call this implicitly with
+        ``persistent=False`` — the thread then parks only while work is
+        pending and exits once the queue runs dry (so classic batch users
+        leak nothing).  An explicit ``start()`` (the HTTP server at boot)
+        keeps the scheduler resident until :meth:`close`, executing
+        submissions with no consumer attached.
+        """
+        with self._cv:
+            if self._closed:
+                raise ReproError("service is closed")
+            self._persistent = self._persistent or persistent
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._scheduler_loop,
+                    name="repro-scheduler",
+                    daemon=True,
+                )
+                self._thread.start()
+        return self
+
+    def close(self, *, timeout: Optional[float] = 30.0) -> None:
+        """Stop the scheduler: cancel queued jobs, finish in-flight work.
+
+        Jobs still queued settle as ``cancelled``; the micro-batch being
+        executed (if any) runs to completion so no job is left ``running``.
+        Idempotent.
+        """
+        with self._cv:
+            if self._closed:
+                thread = self._thread
+            else:
+                self._closed = True
+                while self._queue:
+                    job = self._queue.popleft()
+                    self._settle_cancelled_locked(job, "cancelled: service closing")
+                thread = self._thread
+                self._cv.notify_all()
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "SynthesisService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # submission
@@ -274,7 +387,19 @@ class SynthesisService:
         job_id: Optional[str] = None,
         timeout: Optional[float] = None,
     ) -> SynthesisJob:
-        """Queue one problem; returns the job handle (``run``/``stream`` executes)."""
+        """Register one problem with the scheduler; returns the job handle.
+
+        Legal at any time, including while execution is in flight.  If an
+        identical problem under the same budget is *currently executing*,
+        the new job attaches to that execution (fingerprint coalescing
+        across independent submissions) and settles with it.
+
+        Job ids identify jobs: re-using the id of a *settled* job starts a
+        new generation (the old result is forgotten — a re-submitted batch
+        against a warm server answers from the plan cache), while re-using
+        the id of a still-open job raises
+        :class:`~repro.errors.ReproError`.
+        """
         opts = options or self.default_options
         if timeout is not None:
             opts = opts.with_timeout(timeout)
@@ -283,8 +408,28 @@ class SynthesisService:
             problem=problem,
             options=opts,
         )
-        self._pending.append(job)
-        self.metrics.submitted += 1
+        fingerprint = job.fingerprint  # content hash, computed outside the lock
+        with self._cv:
+            if self._closed:
+                raise ReproError("service is closed")
+            if job.job_id in self._jobs:
+                if job.job_id not in self._results:
+                    raise ReproError(
+                        f"duplicate job id {job.job_id!r} (still open)"
+                    )
+                self._forget_locked(job.job_id)
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+            self.metrics.submitted += 1
+            group = self._active.get((fingerprint, opts.timeout))
+            if group is not None:
+                # attach to the in-flight execution; settles with the group
+                job.status = JobStatus.RUNNING
+                group.append(job)
+            else:
+                self._queue.append(job)
+                self._cv.notify_all()
+            self._evict_locked()
         return job
 
     def submit_many(
@@ -293,63 +438,172 @@ class SynthesisService:
         return [self.submit(problem, **kwargs) for problem in problems]
 
     # ------------------------------------------------------------------
-    # execution
+    # retrieval
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> SynthesisJob:
+        """The job handle for ``job_id`` (``KeyError`` if unknown/expired)."""
+        with self._cv:
+            return self._jobs[job_id]
+
+    def try_result(self, job_id: str) -> Optional[JobResult]:
+        """The settled result for ``job_id``, or ``None`` while it is open.
+
+        ``KeyError`` if the id was never submitted (or has been evicted).
+        """
+        with self._cv:
+            if job_id not in self._jobs:
+                raise KeyError(job_id)
+            result = self._results.get(job_id)
+            if result is not None:
+                self._consumed.add(job_id)
+            return result
+
+    def result(self, job_id: str, *, timeout: Optional[float] = None) -> JobResult:
+        """Block until ``job_id`` settles and return its result.
+
+        Starts the scheduler if needed.  Raises ``KeyError`` for unknown
+        (or meanwhile-evicted) ids and ``TimeoutError`` when ``timeout``
+        seconds elapse first.  While a caller waits here, the job's result
+        is protected from retention eviction.
+        """
+        self.start(persistent=False)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            if job_id not in self._jobs:
+                raise KeyError(job_id)
+            self._watchers[job_id] = self._watchers.get(job_id, 0) + 1
+            try:
+                while job_id not in self._results:
+                    if job_id not in self._jobs:
+                        raise KeyError(f"{job_id}: evicted while waiting")
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise TimeoutError(f"job {job_id!r} still open")
+                    self._cv.wait(remaining)
+                self._consumed.add(job_id)
+                return self._results[job_id]
+            finally:
+                count = self._watchers.get(job_id, 0) - 1
+                if count <= 0:
+                    self._watchers.pop(job_id, None)
+                else:
+                    self._watchers[job_id] = count
+
+    def poll(self) -> Dict[str, JobStatus]:
+        """Snapshot of every remembered job's status, in submission order."""
+        with self._cv:
+            return {
+                job_id: self._jobs[job_id].status
+                for job_id in self._order
+                if job_id in self._jobs
+            }
+
+    def jobs_snapshot(self) -> List[Tuple[SynthesisJob, Optional[JobResult]]]:
+        """Every remembered job with its settled result (or ``None``)."""
+        with self._cv:
+            return [
+                (self._jobs[job_id], self._results.get(job_id))
+                for job_id in self._order
+                if job_id in self._jobs
+            ]
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a still-queued job; returns whether it was cancelled.
+
+        Only ``queued`` jobs can be cancelled: a running execution is
+        shared with every coalesced sibling, and a settled job already has
+        its result.  Raises ``KeyError`` for unknown ids.
+        """
+        with self._cv:
+            job = self._jobs[job_id]
+            if job.status is not JobStatus.QUEUED or job not in self._queue:
+                return False
+            self._queue.remove(job)
+            self._settle_cancelled_locked(job, "cancelled while queued")
+            return True
+
+    def wait_idle(self, *, timeout: Optional[float] = None) -> None:
+        """Block until no job is queued or running, without touching the
+        delivery bookkeeping — a read-only observer's ``drain``.
+
+        Raises ``TimeoutError`` when ``timeout`` seconds elapse first.
+        """
+        self.start(persistent=False)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while any(
+                job_id not in self._results
+                for job_id in self._order
+                if job_id in self._jobs
+            ):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError("wait_idle: jobs still open")
+                self._cv.wait(remaining)
+
+    def drain(self, *, timeout: Optional[float] = None) -> List[JobResult]:
+        """Block until no job is queued or running; return all retained
+        results in submission order.
+
+        Jobs submitted *while* draining extend the wait — the method
+        returns only when the service is momentarily idle.  Raises
+        ``TimeoutError`` when ``timeout`` seconds elapse first.
+        """
+        self.wait_idle(timeout=timeout)
+        with self._cv:
+            results = [
+                self._results[job_id]
+                for job_id in self._order
+                if job_id in self._results
+            ]
+            self._delivered.update(result.job_id for result in results)
+            self._consumed.update(result.job_id for result in results)
+            return results
+
+    # ------------------------------------------------------------------
+    # batch-compatibility views
     # ------------------------------------------------------------------
     def run(self) -> List[JobResult]:
-        """Execute all pending jobs and return their results (submission order)."""
+        """Settle the caller's undelivered jobs; results in submission order."""
         results = {res.job_id: res for res in self.stream()}
         return [results[job_id] for job_id in self._last_order]
 
     def stream(self) -> Iterator[JobResult]:
-        """Execute all pending jobs, yielding each result as it settles.
+        """Claim every undelivered job and yield each result as it settles.
 
-        Cache hits are yielded first (in submission order); misses follow in
-        completion order.
+        Cache hits and already-settled jobs surface first; misses follow in
+        completion order.  This is the classic batch view: jobs submitted
+        after the stream begins belong to the *next* ``stream()`` call (the
+        scheduler still executes them — ``drain()`` or ``result()`` also
+        retrieves them).
         """
-        jobs, self._pending = self._pending, []
-        self._last_order = [job.job_id for job in jobs]
-        with self.metrics.time_batch():
-            # stage 1+2: fingerprint and consult the cache; group duplicates.
-            # The group key includes the timeout (the fingerprint deliberately
-            # does not): a non-definitive verdict like "timeout" only holds
-            # for jobs that ran under the same budget, so jobs with different
-            # budgets must not coalesce onto one execution.
-            groups: "Dict[Tuple[str, Optional[float]], List[SynthesisJob]]" = {}
-            for job in jobs:
-                classes = {tc.name: tc for tc in job.problem.classes}
-                plan = self.cache.get(job.fingerprint, classes)
-                if plan is not None:
-                    job.status = JobStatus.DONE
-                    result = JobResult(
-                        job_id=job.job_id,
-                        status=JobStatus.DONE,
-                        plan=plan,
-                        cached=True,
-                        fingerprint=job.fingerprint,
-                    )
-                    self.metrics.observe(result)
-                    yield result
-                else:
-                    groups.setdefault(
-                        (job.fingerprint, job.options.timeout), []
-                    ).append(job)
-
-            # stage 3: execute one representative per fingerprint group.
-            # Task count includes shards: a single job with shards=4 is
-            # worth spinning the pool up for (that is the point of shards).
-            if not groups:
-                return
-            tasks = sum(
-                len(group[0].options.backends()) * max(1, group[0].options.shards)
-                for group in groups.values()
-            )
-            runner = (
-                self._execute_serial
-                if self.workers <= 1 or tasks == 1
-                else self._execute_pool
-            )
-            for key, payload in runner(groups):
-                yield from self._settle_group(groups[key], payload)
+        self.start(persistent=False)
+        with self._cv:
+            claimed = [
+                job_id
+                for job_id in self._order
+                if job_id in self._jobs and job_id not in self._delivered
+            ]
+            self._delivered.update(claimed)
+        self._last_order = list(claimed)
+        remaining = set(claimed)
+        while remaining:
+            with self._cv:
+                while not any(job_id in self._results for job_id in remaining):
+                    self._cv.wait()
+                ready = [
+                    job_id
+                    for job_id in claimed
+                    if job_id in remaining and job_id in self._results
+                ]
+                remaining.difference_update(ready)
+                results = [self._results[job_id] for job_id in ready]
+                self._consumed.update(ready)
+            yield from results
 
     def run_problems(
         self, problems: Iterable[Problem], **kwargs: Any
@@ -373,10 +627,210 @@ class SynthesisService:
         out["verdict_memo"] = dict(
             self.verdict_memo.stats().as_dict(), scopes=len(self.verdict_memo)
         )
+        with self._cv:
+            queue_depth = len(self._queue)
+            in_flight = sum(
+                1
+                for job in self._jobs.values()
+                if job.status is JobStatus.RUNNING
+            )
+        out["gauges"] = self.metrics.gauges_dict(
+            queue_depth=queue_depth,
+            in_flight=in_flight,
+            memo_scopes=len(self.verdict_memo),
+        )
         return out
 
     # ------------------------------------------------------------------
-    # internals
+    # scheduler internals
+    # ------------------------------------------------------------------
+    def _publish_locked(self, result: JobResult) -> None:
+        """Record a settled result and wake every waiter (cv held)."""
+        self._results[result.job_id] = result
+        self._evict_locked()
+        self._cv.notify_all()
+
+    def _settle_cancelled_locked(self, job: SynthesisJob, message: str) -> None:
+        job.status = JobStatus.CANCELLED
+        result = JobResult(
+            job_id=job.job_id,
+            status=JobStatus.CANCELLED,
+            message=message,
+            fingerprint=job.fingerprint,
+        )
+        self.metrics.observe(result)
+        self._publish_locked(result)
+
+    def _forget_locked(self, job_id: str) -> None:
+        """Drop every trace of a settled job (id re-use, eviction)."""
+        self._jobs.pop(job_id, None)
+        self._results.pop(job_id, None)
+        self._delivered.discard(job_id)
+        self._consumed.discard(job_id)
+        self._order.remove(job_id)
+
+    def _evict_locked(self) -> None:
+        """Bound memory: beyond :data:`RESULT_RETENTION` remembered jobs,
+        forget the oldest evictable settled results.
+
+        Evictable: already consumed (handed to a caller), or never claimed
+        at all (fire-and-forget submissions — nobody is coming back for
+        them through ``stream``).  A result a live ``stream()`` claimed
+        but has not read yet (delivered ∧ ¬consumed), or one a ``result()``
+        caller is currently blocked on, is never evicted.
+        """
+        if len(self._order) <= RESULT_RETENTION:
+            return
+        kept: List[str] = []
+        excess = len(self._order) - RESULT_RETENTION
+        for job_id in self._order:
+            evictable = (
+                job_id in self._results
+                and job_id not in self._watchers
+                and (job_id in self._consumed or job_id not in self._delivered)
+            )
+            if excess > 0 and evictable:
+                del self._results[job_id]
+                self._jobs.pop(job_id, None)
+                self._delivered.discard(job_id)
+                self._consumed.discard(job_id)
+                excess -= 1
+            else:
+                kept.append(job_id)
+        self._order = kept
+
+    def _scheduler_loop(self) -> None:
+        """The scheduler thread: drain → micro-batch → publish.
+
+        A persistent scheduler parks on the condition variable between
+        micro-batches; a consumer-auto-started one returns once the queue
+        is empty (``start()`` respawns it on the next call).
+        """
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    if not self._persistent and self._thread is threading.current_thread():
+                        self._thread = None
+                        return
+                    self._cv.wait()
+                if self._closed and not self._queue:
+                    return
+                batch: List[SynthesisJob] = []
+                while self._queue:
+                    job = self._queue.popleft()
+                    if not job.status.terminal:  # cancel races settle jobs
+                        batch.append(job)
+            try:
+                groups = self._plan_batch(batch)
+            except BaseException as err:  # noqa: BLE001 — must not die
+                # e.g. a corrupt disk-cache entry: the popped batch must
+                # still settle or its waiters would hang forever
+                crashed: Dict[_GroupKey, List[SynthesisJob]] = {}
+                for job in batch:
+                    key = (job.fingerprint, job.options.timeout)
+                    crashed.setdefault(key, []).append(job)
+                self._settle_crashed(crashed, err)
+                continue
+            if groups:
+                try:
+                    self._execute_groups(groups)
+                except BaseException as err:  # noqa: BLE001 — must not die
+                    self._settle_crashed(groups, err)
+
+    def _plan_batch(
+        self, batch: List[SynthesisJob]
+    ) -> Dict[_GroupKey, List[SynthesisJob]]:
+        """Sort drained jobs into cache hits and fingerprint groups.
+
+        Cache lookups (disk I/O for an on-disk tier, plus plan
+        rehydration) run *outside* the scheduler lock so handler threads
+        are never stalled behind them; hits publish and miss groups
+        register as *active* — so later submissions attach instead of
+        re-executing — under one short critical section.  The group key
+        includes the timeout (the fingerprint deliberately does not): a
+        non-definitive verdict like "timeout" only holds for jobs that ran
+        under the same budget.
+        """
+        hits: List[Tuple[SynthesisJob, Any]] = []
+        groups: Dict[_GroupKey, List[SynthesisJob]] = {}
+        for job in batch:
+            classes = {tc.name: tc for tc in job.problem.classes}
+            plan = self.cache.get(job.fingerprint, classes)
+            if plan is not None:
+                hits.append((job, plan))
+            else:
+                key = (job.fingerprint, job.options.timeout)
+                groups.setdefault(key, []).append(job)
+        with self._cv:
+            for job, plan in hits:
+                job.status = JobStatus.DONE
+                result = JobResult(
+                    job_id=job.job_id,
+                    status=JobStatus.DONE,
+                    plan=plan,
+                    cached=True,
+                    fingerprint=job.fingerprint,
+                )
+                self.metrics.observe(result)
+                self._publish_locked(result)
+            for key, group in groups.items():
+                self._active[key] = group
+        return groups
+
+    def _execute_groups(self, groups: Dict[_GroupKey, List[SynthesisJob]]) -> None:
+        """Run one micro-batch of cache-miss groups and publish verdicts.
+
+        Task count includes shards: a single job with shards=4 is worth
+        spinning the pool up for (that is the point of shards).
+        """
+        with self.metrics.time_batch():
+            tasks = sum(
+                len(group[0].options.backends()) * max(1, group[0].options.shards)
+                for group in groups.values()
+            )
+            runner = (
+                self._execute_serial
+                if self.workers <= 1 or tasks == 1
+                else self._execute_pool
+            )
+            for key, payload in runner(groups):
+                with self._cv:
+                    # snapshot-and-retire the group: submissions from here
+                    # on queue for the next micro-batch (and hit the cache)
+                    group = self._active.pop(key, None)
+                    if group is None:
+                        group = groups[key]
+                # plan rehydration + cache.put (disk I/O) stay outside the
+                # lock, like the cache lookups in _plan_batch
+                results = self._settle_group(group, payload)
+                with self._cv:
+                    for result in results:
+                        self.metrics.observe(result)
+                        self._publish_locked(result)
+
+    def _settle_crashed(
+        self, groups: Dict[_GroupKey, List[SynthesisJob]], err: BaseException
+    ) -> None:
+        """Executor crashed: settle every open job as ``error``."""
+        message = f"scheduler error: {type(err).__name__}: {err}"
+        with self._cv:
+            for key, group in groups.items():
+                self._active.pop(key, None)
+                for job in group:
+                    if job.job_id in self._results:
+                        continue
+                    job.status = JobStatus.ERROR
+                    result = JobResult(
+                        job_id=job.job_id,
+                        status=JobStatus.ERROR,
+                        message=message,
+                        fingerprint=job.fingerprint,
+                    )
+                    self.metrics.observe(result)
+                    self._publish_locked(result)
+
+    # ------------------------------------------------------------------
+    # executors
     # ------------------------------------------------------------------
     @staticmethod
     def _group_payloads(
@@ -427,7 +881,8 @@ class SynthesisService:
     ) -> Iterator[Tuple["_GroupKey", Dict[str, Any]]]:
         """In-process execution; portfolio backends tried in order."""
         for key, group in groups.items():
-            group[0].status = JobStatus.RUNNING
+            for job in group:  # every coalesced sibling is executing
+                job.status = JobStatus.RUNNING
             attempts: List[Dict[str, Any]] = []
             for backend, problem_data, options_data in self._group_payloads(
                 group[0], sharded=False
@@ -476,7 +931,8 @@ class SynthesisService:
         pool_broken = False
 
         for key, group in groups.items():
-            group[0].status = JobStatus.RUNNING
+            for job in group:  # every coalesced sibling is executing
+                job.status = JobStatus.RUNNING
             attempts[key] = []
             decided[key] = False
             scope_of[key] = self._group_scope(group[0])
@@ -637,14 +1093,20 @@ class SynthesisService:
 
     def _settle_group(
         self, group: List[SynthesisJob], payload: Dict[str, Any]
-    ) -> Iterator[JobResult]:
-        """Fan one execution result out to every job coalesced on it."""
+    ) -> List[JobResult]:
+        """Fan one execution result out to every job coalesced on it.
+
+        Runs outside the scheduler lock (plan rehydration and the cache
+        write may touch disk); the caller observes and publishes the
+        returned results under the lock.
+        """
         status = JobStatus(payload["status"])
         fingerprint = group[0].fingerprint
         if status is JobStatus.DONE:
             classes = {tc.name: tc for tc in group[0].problem.classes}
             plan = plan_from_dict(payload["plan"], classes)
             self.cache.put(fingerprint, plan)
+        results: List[JobResult] = []
         for index, job in enumerate(group):
             job.status = status
             plan = None
@@ -658,15 +1120,16 @@ class SynthesisService:
                     f"coalesced with {group[0].job_id}"
                     + (f": {message}" if message else "")
                 )
-            result = JobResult(
-                job_id=job.job_id,
-                status=status,
-                plan=plan,
-                seconds=payload.get("seconds", 0.0) if index == 0 else 0.0,
-                cached=False,
-                backend=payload.get("backend"),
-                message=message,
-                fingerprint=fingerprint,
+            results.append(
+                JobResult(
+                    job_id=job.job_id,
+                    status=status,
+                    plan=plan,
+                    seconds=payload.get("seconds", 0.0) if index == 0 else 0.0,
+                    cached=False,
+                    backend=payload.get("backend"),
+                    message=message,
+                    fingerprint=fingerprint,
+                )
             )
-            self.metrics.observe(result)
-            yield result
+        return results

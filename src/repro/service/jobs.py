@@ -20,7 +20,13 @@ from repro.synthesis.plan import UpdatePlan
 
 
 class JobStatus(str, Enum):
-    """Lifecycle of a synthesis job."""
+    """Lifecycle of a synthesis job.
+
+    ``cancelled`` is reachable only from ``queued`` (via
+    :meth:`~repro.service.engine.SynthesisService.cancel`): once a job is
+    running its execution is shared with every job coalesced onto the same
+    fingerprint, so in-flight work is never torn down.
+    """
 
     QUEUED = "queued"
     RUNNING = "running"
@@ -28,6 +34,7 @@ class JobStatus(str, Enum):
     INFEASIBLE = "infeasible"
     TIMEOUT = "timeout"
     ERROR = "error"
+    CANCELLED = "cancelled"
 
     @property
     def terminal(self) -> bool:

@@ -46,6 +46,9 @@ class ServiceMetrics:
     latencies: Deque[float] = field(
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW)
     )
+    #: Monotonic birth time; drives the ``uptime_seconds`` gauge a
+    #: long-lived server reports on ``GET /v1/metrics``.
+    started_monotonic: float = field(default_factory=time.monotonic)
 
     def observe(self, result: JobResult) -> None:
         """Record one finished job."""
@@ -65,6 +68,32 @@ class ServiceMetrics:
     @property
     def cache_hit_rate(self) -> float:
         return self.cache_hits / self.completed if self.completed else 0.0
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since this metrics instance (≈ the service) was born."""
+        return time.monotonic() - self.started_monotonic
+
+    def gauges_dict(
+        self,
+        *,
+        queue_depth: int = 0,
+        in_flight: int = 0,
+        memo_scopes: int = 0,
+    ) -> Dict[str, Any]:
+        """Live point-in-time gauges for the HTTP ``/v1/metrics`` endpoint.
+
+        Counters in :meth:`as_dict` are cumulative; these describe *now*:
+        jobs waiting for the scheduler, jobs currently executing, verdict-
+        memo scopes held hot, and how long the service has been up.  The
+        caller (the service) supplies the scheduler-state readings.
+        """
+        return {
+            "queue_depth": int(queue_depth),
+            "in_flight": int(in_flight),
+            "memo_scopes": int(memo_scopes),
+            "uptime_seconds": round(self.uptime_seconds, 3),
+        }
 
     @property
     def throughput(self) -> float:

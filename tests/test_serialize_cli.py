@@ -154,6 +154,32 @@ class TestCli:
         assert "VIOLATION" in out
         assert "DROP" in out
 
+    def test_check_json_verdict(self, capsys, tmp_path):
+        _, out = self.run_cli(capsys, "demo", "fig1-green")
+        path = tmp_path / "p.json"
+        path.write_text(out)
+        code, out = self.run_cli(capsys, "check", str(path), "--json")
+        assert code == 0
+        document = json.loads(out)
+        assert document["ok"] is True
+        assert document["configuration"] == "initial"
+        assert document["checker"] == "incremental"
+        assert document["counterexample"] is None
+        assert document["timings"]["total_seconds"] >= 0.0
+
+    def test_check_json_violation_carries_trace(self, capsys, tmp_path):
+        _, out = self.run_cli(capsys, "demo", "fig1-green")
+        data = json.loads(out)
+        data["init"] = {}  # empty initial config: blackhole
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps(data))
+        code, out = self.run_cli(capsys, "check", str(path), "--json")
+        assert code == 1
+        document = json.loads(out)
+        assert document["ok"] is False
+        assert document["counterexample"], "expected a violating trace"
+        assert any("DROP" in state for state in document["counterexample"])
+
     def test_unknown_demo(self, capsys):
         code = main(["demo", "nope"])
         assert code == 1

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.errors import ParseError
+from repro.errors import ParseError, ReproError
 from repro.net.commands import RuleGranUpdate, SwitchUpdate, Wait
 from repro.net.fields import TrafficClass
 from repro.net.rules import Forward, Pattern, Rule, Table
@@ -540,6 +540,236 @@ class TestServicePoolFailures:
         assert "BrokenProcessPool" in results["first"].message
         assert results["second"].status is JobStatus.DONE
         assert results["third"].status is JobStatus.INFEASIBLE
+
+
+# ----------------------------------------------------------------------
+# the continuous scheduler
+# ----------------------------------------------------------------------
+class TestContinuousScheduler:
+    def test_submit_during_active_stream_settles_every_job(self):
+        """Acceptance: submit() while a stream is consuming is legal; the
+        late job is executed by the running scheduler and nothing is left
+        RUNNING (or QUEUED) after a drain."""
+        service = SynthesisService(workers=0)
+        service.submit(fig1_problem(), job_id="early-1")
+        service.submit(
+            scenario_problem(ring_diamond(6, seed=1)), job_id="early-2"
+        )
+        stream = service.stream()
+        first = next(stream)  # the scheduler is live now
+        late = service.submit(
+            scenario_problem(ring_diamond(8, seed=2)), job_id="late"
+        )
+        streamed = [first] + list(stream)
+        # the stream claimed only the jobs present when it started
+        assert {r.job_id for r in streamed} == {"early-1", "early-2"}
+        late_result = service.result("late", timeout=60)
+        assert late_result.status is JobStatus.DONE
+        assert late.status is JobStatus.DONE
+        assert all(status.terminal for status in service.poll().values())
+
+    def test_result_poll_and_drain(self):
+        service = SynthesisService(workers=0)
+        service.submit(fig1_problem(), job_id="a")
+        service.submit(
+            scenario_problem(double_diamond(8, seed=1)), job_id="b"
+        )
+        assert service.poll() == {
+            "a": JobStatus.QUEUED, "b": JobStatus.QUEUED,
+        }
+        assert service.result("a", timeout=60).status is JobStatus.DONE
+        results = service.drain(timeout=60)
+        assert [r.job_id for r in results] == ["a", "b"]
+        assert results[1].status is JobStatus.INFEASIBLE
+        assert all(status.terminal for status in service.poll().values())
+        with pytest.raises(KeyError):
+            service.result("nonexistent")
+
+    def test_cancel_queued_job_before_scheduler_starts(self):
+        service = SynthesisService(workers=0)
+        job = service.submit(fig1_problem(), job_id="victim")
+        assert service.cancel("victim") is True
+        assert job.status is JobStatus.CANCELLED
+        result = service.try_result("victim")
+        assert result is not None and result.status is JobStatus.CANCELLED
+        # a settled job cannot be cancelled again
+        assert service.cancel("victim") is False
+        # the stream delivers the cancellation like any other verdict
+        assert [r.status for r in service.stream()] == [JobStatus.CANCELLED]
+
+    def test_duplicate_open_id_rejected_settled_id_replaced(self):
+        service = SynthesisService(workers=0)
+        service.submit(fig1_problem(), job_id="j")
+        with pytest.raises(ReproError, match="duplicate"):
+            service.submit(fig1_problem(), job_id="j")
+        first = service.result("j", timeout=60)
+        assert first.status is JobStatus.DONE and not first.cached
+        # a settled id starts a new generation — served from the warm cache
+        service.submit(fig1_problem(), job_id="j")
+        second = service.result("j", timeout=60)
+        assert second.status is JobStatus.DONE and second.cached
+
+    def test_close_cancels_queued_jobs(self):
+        service = SynthesisService(workers=0)
+        job = service.submit(fig1_problem(), job_id="doomed")
+        service.close()
+        assert job.status is JobStatus.CANCELLED
+        with pytest.raises(ReproError, match="closed"):
+            service.submit(fig1_problem())
+
+    def test_context_manager_runs_then_closes(self):
+        with SynthesisService(workers=0) as service:
+            result = service.result(
+                service.submit(fig1_problem()).job_id, timeout=60
+            )
+            assert result.status is JobStatus.DONE
+        with pytest.raises(ReproError, match="closed"):
+            service.start()
+
+    def test_metrics_gauges_serialize(self):
+        service = SynthesisService(workers=0)
+        service.run_problems([fig1_problem()])
+        metrics = service.metrics_dict()
+        gauges = metrics["gauges"]
+        assert gauges["queue_depth"] == 0
+        assert gauges["in_flight"] == 0
+        assert gauges["memo_scopes"] == 1
+        assert gauges["uptime_seconds"] >= 0.0
+        json.dumps(metrics)  # the whole document must be JSON-safe
+
+    def test_eviction_forgets_unclaimed_settled_results(self, monkeypatch):
+        """Fire-and-forget submissions (settled, never claimed) must be
+        evictable, or a long-lived server grows without bound."""
+        import repro.service.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "RESULT_RETENTION", 2)
+        service = SynthesisService(workers=0)
+        service.start()
+        for index in range(5):
+            service.submit(fig1_problem(), job_id=f"forgotten-{index}")
+        service.wait_idle(timeout=60)
+        service.submit(fig1_problem(), job_id="last")
+        service.result("last", timeout=60)
+        known = service.poll()
+        assert len(known) <= 3  # retention bound (+ the in-flight margin)
+        assert "last" in known
+        assert "forgotten-0" not in known
+        with pytest.raises(KeyError):
+            service.try_result("forgotten-0")
+        service.close()
+
+    def test_crash_during_cache_lookup_settles_the_batch(self, monkeypatch):
+        """A corrupt cache entry (lookup raises) must settle the drained
+        jobs as errors, not kill the scheduler with waiters blocked."""
+        service = SynthesisService(workers=0)
+
+        def broken_get(fingerprint, classes=None):
+            raise TypeError("corrupt cache entry")
+
+        monkeypatch.setattr(service.cache, "get", broken_get)
+        service.submit(fig1_problem(), job_id="victim")
+        result = service.result("victim", timeout=60)
+        assert result.status is JobStatus.ERROR
+        assert "corrupt cache entry" in result.message
+        service.close()
+
+    def test_coalesced_siblings_report_running(self, monkeypatch):
+        """Every job of an executing fingerprint group must show RUNNING —
+        a 'queued' sibling of a running execution misleads monitoring."""
+        import threading
+
+        import repro.service.engine as engine_module
+
+        gate = threading.Event()
+        entered = threading.Event()
+        original = engine_module._execute_payload
+
+        def gated(problem_data, options_data, backend, **kwargs):
+            entered.set()
+            gate.wait(timeout=60)
+            return original(problem_data, options_data, backend, **kwargs)
+
+        monkeypatch.setattr(engine_module, "_execute_payload", gated)
+        service = SynthesisService(workers=0)
+        service.submit(fig1_problem(), job_id="a")
+        service.submit(fig1_problem(), job_id="b")  # same fingerprint
+        service.start()
+        assert entered.wait(timeout=60)
+        statuses = service.poll()
+        assert statuses["a"] is JobStatus.RUNNING
+        assert statuses["b"] is JobStatus.RUNNING
+        gate.set()
+        service.drain(timeout=60)
+        service.close()
+
+    def test_consumer_started_scheduler_exits_when_idle(self):
+        """Batch-style use must not leak a parked scheduler thread."""
+        import threading
+        import time
+
+        def scheduler_threads():
+            return [
+                thread
+                for thread in threading.enumerate()
+                if thread.name == "repro-scheduler" and thread.is_alive()
+            ]
+
+        before = len(scheduler_threads())
+        service = SynthesisService(workers=0)
+        service.run_problems([fig1_problem()])
+        for _ in range(100):  # the thread exits asynchronously
+            if len(scheduler_threads()) <= before:
+                break
+            time.sleep(0.02)
+        assert len(scheduler_threads()) <= before
+        # ...and a later consumer transparently restarts it
+        service.submit(fig1_problem(), job_id="again")
+        assert service.result("again", timeout=60).status is JobStatus.DONE
+
+    def test_result_waiter_protected_from_eviction(self, monkeypatch):
+        """A result() caller blocked on a job must receive its result even
+        under the most aggressive retention pressure."""
+        import repro.service.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "RESULT_RETENTION", 0)
+        service = SynthesisService(workers=0)
+        service.submit(fig1_problem(), job_id="watched")
+        result = service.result("watched", timeout=60)
+        assert result.status is JobStatus.DONE
+        service.close()
+
+    def test_in_flight_attach_coalesces_independent_submissions(self, monkeypatch):
+        """A submission matching a currently-executing fingerprint attaches
+        to that execution instead of running again."""
+        import threading
+
+        import repro.service.engine as engine_module
+
+        gate = threading.Event()
+        entered = threading.Event()
+        original = engine_module._execute_payload
+
+        def gated(problem_data, options_data, backend, **kwargs):
+            entered.set()
+            gate.wait(timeout=60)
+            return original(problem_data, options_data, backend, **kwargs)
+
+        monkeypatch.setattr(engine_module, "_execute_payload", gated)
+        service = SynthesisService(workers=0)
+        service.submit(fig1_problem(), job_id="first")
+        service.start()
+        assert entered.wait(timeout=60)
+        # the scheduler is inside "first"'s execution: this submission
+        # attaches to the in-flight group
+        attached = service.submit(fig1_problem(), job_id="attached")
+        assert attached.status is JobStatus.RUNNING
+        gate.set()
+        results = {r.job_id: r for r in service.drain(timeout=60)}
+        assert results["first"].status is JobStatus.DONE
+        assert results["attached"].status is JobStatus.DONE
+        assert "coalesced" in results["attached"].message
+        assert service.metrics.coalesced == 1
+        service.close()
 
 
 # ----------------------------------------------------------------------

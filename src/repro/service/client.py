@@ -15,19 +15,35 @@ Server-side error envelopes are re-raised as the exception family they
 encode (``parse`` → :class:`~repro.errors.ParseError`, ``not_found`` →
 ``KeyError``, anything else → :class:`~repro.errors.ReproError`), which
 keeps the CLI exit codes identical with and without ``--server``.
+
+Idempotent GETs transparently retry transient transport failures with
+bounded exponential backoff and jitter (``max_retries`` /
+``retry_backoff``); the client also speaks the fleet work-pull surface
+(:meth:`~ReproClient.fleet_lease` / ``fleet_complete`` /
+``fleet_heartbeat``) on behalf of :class:`~repro.fleet.worker.FleetWorker`.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 from urllib.parse import quote
 
-from repro.api import ErrorEnvelope, JobView, SynthesisRequest, SynthesisResponse
-from repro.errors import ParseError, ReproError
+from repro.api import (
+    ErrorEnvelope,
+    HeartbeatRequest,
+    JobView,
+    LeaseCompletion,
+    LeaseGrant,
+    LeaseRequest,
+    SynthesisRequest,
+    SynthesisResponse,
+)
+from repro.errors import FleetError, ParseError, ReproError
 from repro.net.fields import TrafficClass
 from repro.net.serialize import Problem
 from repro.service.jobs import JobResult, JobStatus, SynthesisOptions
@@ -47,6 +63,14 @@ class ReproClient:
             the in-process service's ``default_options``.  ``None`` (the
             default) sends requests *without* options, so the server's own
             ``default_options`` (``repro serve --timeout ...``) apply.
+        max_retries: transparent re-attempts of **GET** requests that fail
+            with a *transport* error (connection refused/reset, DNS) —
+            polls are idempotent, so a blip mid-long-poll costs a retry,
+            not the batch.  POSTs never retry: a resubmitted job is a
+            duplicate, not a repeat.  ``0`` disables.
+        retry_backoff: base seconds of the bounded exponential backoff
+            between retries; each attempt doubles it and adds jitter so a
+            fleet of clients does not reconnect in lockstep.
     """
 
     def __init__(
@@ -55,10 +79,14 @@ class ReproClient:
         *,
         request_timeout: float = 30.0,
         default_options: Optional[SynthesisOptions] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
     ):
         self.base_url = base_url.rstrip("/")
         self.request_timeout = request_timeout
         self.default_options = default_options
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff = max(0.0, retry_backoff)
         # per submitted job: the traffic classes needed to rehydrate plans,
         # and the submission order backing stream()/run()
         self._classes: Dict[str, Dict[str, TrafficClass]] = {}
@@ -86,17 +114,29 @@ class ReproClient:
         request = urllib.request.Request(
             url, data=data, headers=headers, method=method
         )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=timeout or self.request_timeout
-            ) as response:
-                payload = response.read()
-        except urllib.error.HTTPError as err:
-            payload = err.read()
-            self._raise_envelope(payload, err.code)
-            raise  # unreachable: _raise_envelope always raises
-        except urllib.error.URLError as err:
-            raise ReproError(f"server unreachable at {url}: {err.reason}") from err
+        # only idempotent GETs survive a transport blip transparently; an
+        # HTTP *response* (even 5xx) is the server speaking, never retried
+        retries_left = self.max_retries if method == "GET" else 0
+        attempt = 0
+        while True:
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=timeout or self.request_timeout
+                ) as response:
+                    payload = response.read()
+                break
+            except urllib.error.HTTPError as err:
+                payload = err.read()
+                self._raise_envelope(payload, err.code)
+                raise  # unreachable: _raise_envelope always raises
+            except urllib.error.URLError as err:
+                if retries_left <= 0:
+                    raise ReproError(
+                        f"server unreachable at {url}: {err.reason}"
+                    ) from err
+                retries_left -= 1
+                time.sleep(self._retry_delay(attempt))
+                attempt += 1
         try:
             document = json.loads(payload)
         except json.JSONDecodeError as err:
@@ -104,6 +144,11 @@ class ReproClient:
         if not isinstance(document, dict):
             raise ReproError(f"bad response from {url}: expected an object")
         return document
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Bounded exponential backoff with full jitter (capped at 2 s)."""
+        ceiling = min(2.0, self.retry_backoff * (2.0**attempt))
+        return random.uniform(0.0, ceiling)
 
     @staticmethod
     def _raise_envelope(payload: bytes, http_status: int) -> None:
@@ -316,3 +361,48 @@ class ReproClient:
 
     def healthz(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/healthz")
+
+    # ------------------------------------------------------------------
+    # fleet surface (used by repro.fleet.worker; 404 off fleet mode)
+    # ------------------------------------------------------------------
+    def _fleet_request(
+        self, path: str, body: Dict[str, Any], *, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        try:
+            return self._request("POST", path, body=body, timeout=timeout)
+        except KeyError as err:
+            # the server's not_found envelope surfaces as KeyError; for
+            # fleet endpoints that means "no coordinator here"
+            raise FleetError(
+                f"{self.base_url} is not a fleet coordinator "
+                f"(start the server with `repro serve --fleet`): {err.args[0]}"
+            ) from err
+
+    def fleet_lease(
+        self, worker_id: str, *, max_groups: int = 1, wait: float = 0.0
+    ) -> List[LeaseGrant]:
+        """Ask the coordinator for work; empty list when none is eligible.
+
+        ``wait`` long-polls server-side, so the socket timeout stretches
+        to cover it (like :meth:`result`'s ``?wait=`` handling).
+        """
+        request = LeaseRequest(worker_id=worker_id, max_groups=max_groups, wait=wait)
+        document = self._fleet_request(
+            "/v1/fleet/lease",
+            request.to_dict(),
+            timeout=self.request_timeout + max(0.0, wait),
+        )
+        return [
+            LeaseGrant.from_dict(entry) for entry in document.get("leases", [])
+        ]
+
+    def fleet_complete(self, completion: LeaseCompletion) -> Dict[str, Any]:
+        """Report an executed group; ``{"accepted": ..., "known": ...}``."""
+        return self._fleet_request("/v1/fleet/complete", completion.to_dict())
+
+    def fleet_heartbeat(
+        self, worker_id: str, lease_ids: Sequence[str] = ()
+    ) -> Dict[str, Any]:
+        """Extend ``lease_ids``; the reply names leases no longer held."""
+        request = HeartbeatRequest(worker_id=worker_id, lease_ids=tuple(lease_ids))
+        return self._fleet_request("/v1/fleet/heartbeat", request.to_dict())

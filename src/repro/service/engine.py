@@ -270,6 +270,10 @@ class SynthesisService:
             create one (``cache_dir``/``cache_capacity`` configure it).
         default_options: :class:`SynthesisOptions` applied to ``submit``
             calls that don't bring their own.
+        verdict_memo: a :class:`~repro.perf.memo.SharedVerdictMemo` to use
+            instead of creating one — how a fleet runner injects its
+            *resident* delta-tracking memo so entries learned across
+            leases accumulate and gossip upstream.
 
     All public methods are thread-safe; the HTTP front-end
     (:mod:`repro.service.server`) calls them from handler threads while the
@@ -286,6 +290,7 @@ class SynthesisService:
         cache_capacity: int = 1024,
         default_options: Optional[SynthesisOptions] = None,
         metrics: Optional[ServiceMetrics] = None,
+        verdict_memo: Optional[SharedVerdictMemo] = None,
     ):
         self.workers = default_worker_count() if workers is None else max(0, workers)
         self.cache = cache or PlanCache(cache_capacity, cache_dir)
@@ -295,7 +300,16 @@ class SynthesisService:
         # share refuted traces and verdicts.  The serial path probes it
         # live; pool dispatches snapshot it per payload and merge the
         # workers' learned deltas back (see the module docstring).
-        self.verdict_memo = SharedVerdictMemo()
+        self.verdict_memo = (
+            verdict_memo if verdict_memo is not None else SharedVerdictMemo()
+        )
+        # fleet mode: a FleetCoordinator installed via set_group_runner
+        # replaces the local executors — cache-miss groups are leased to
+        # remote runners instead of the process pool.  Duck-typed (any
+        # object with a runner-contract __call__, close(), gauges_dict())
+        # so the engine never imports repro.fleet.
+        self.fleet: Optional[Any] = None
+        self._group_runner: Optional[Any] = None
         self._memo_conflict_warned = False
         self._ids = itertools.count(1)
         # scheduler state, all guarded by the condition's lock.  The cv is
@@ -350,11 +364,29 @@ class SynthesisService:
                 self._thread.start()
         return self
 
+    def set_group_runner(self, runner: Optional[Any], *, fleet: Optional[Any] = None) -> None:
+        """Replace the local executors with a custom group runner.
+
+        ``runner`` follows the executor contract of :meth:`_execute_serial`
+        / :meth:`_execute_pool`: called with a dict of cache-miss groups
+        (``{(fingerprint, timeout): [jobs]}``, every job already marked
+        ``running``), it yields ``(key, payload)`` pairs where ``payload``
+        is a runner-contract result dict; every group must eventually be
+        yielded.  ``fleet`` optionally names the coordinator behind the
+        runner so :meth:`metrics_dict` and :meth:`close` can reach it.
+        Pass ``None`` to restore the local executors.
+        """
+        self._group_runner = runner
+        self.fleet = fleet
+
     def close(self, *, timeout: Optional[float] = 30.0) -> None:
         """Stop the scheduler: cancel queued jobs, finish in-flight work.
 
         Jobs still queued settle as ``cancelled``; the micro-batch being
         executed (if any) runs to completion so no job is left ``running``.
+        In fleet mode the coordinator is closed first — a scheduler thread
+        blocked waiting on remote completions settles its remaining groups
+        as errors instead of waiting on runners that will never return.
         Idempotent.
         """
         with self._cv:
@@ -367,6 +399,8 @@ class SynthesisService:
                     self._settle_cancelled_locked(job, "cancelled: service closing")
                 thread = self._thread
                 self._cv.notify_all()
+        if self.fleet is not None:
+            self.fleet.close()
         if thread is not None and thread.is_alive():
             thread.join(timeout=timeout)
 
@@ -466,13 +500,17 @@ class SynthesisService:
         seconds elapse first.  While a caller waits here, the job's result
         is protected from retention eviction.
         """
-        self.start(persistent=False)
         deadline = None if timeout is None else time.monotonic() + timeout
+        # Register the watcher BEFORE starting the scheduler: a started
+        # scheduler may settle the job and evict its result in the gap,
+        # and the watcher is what makes the result eviction-proof.
         with self._cv:
             if job_id not in self._jobs:
                 raise KeyError(job_id)
             self._watchers[job_id] = self._watchers.get(job_id, 0) + 1
-            try:
+        try:
+            self.start(persistent=False)
+            with self._cv:
                 while job_id not in self._results:
                     if job_id not in self._jobs:
                         raise KeyError(f"{job_id}: evicted while waiting")
@@ -484,7 +522,8 @@ class SynthesisService:
                     self._cv.wait(remaining)
                 self._consumed.add(job_id)
                 return self._results[job_id]
-            finally:
+        finally:
+            with self._cv:
                 count = self._watchers.get(job_id, 0) - 1
                 if count <= 0:
                     self._watchers.pop(job_id, None)
@@ -634,10 +673,12 @@ class SynthesisService:
                 for job in self._jobs.values()
                 if job.status is JobStatus.RUNNING
             )
+        fleet = self.fleet.gauges_dict() if self.fleet is not None else None
         out["gauges"] = self.metrics.gauges_dict(
             queue_depth=queue_depth,
             in_flight=in_flight,
             memo_scopes=len(self.verdict_memo),
+            fleet=fleet,
         )
         return out
 
@@ -754,8 +795,10 @@ class SynthesisService:
         hits: List[Tuple[SynthesisJob, Any]] = []
         groups: Dict[_GroupKey, List[SynthesisJob]] = {}
         for job in batch:
-            classes = {tc.name: tc for tc in job.problem.classes}
-            plan = self.cache.get(job.fingerprint, classes)
+            plan = None
+            if job.options.use_plan_cache:
+                classes = {tc.name: tc for tc in job.problem.classes}
+                plan = self.cache.get(job.fingerprint, classes)
             if plan is not None:
                 hits.append((job, plan))
             else:
@@ -784,15 +827,23 @@ class SynthesisService:
         spinning the pool up for (that is the point of shards).
         """
         with self.metrics.time_batch():
-            tasks = sum(
-                len(group[0].options.backends()) * max(1, group[0].options.shards)
-                for group in groups.values()
-            )
-            runner = (
-                self._execute_serial
-                if self.workers <= 1 or tasks == 1
-                else self._execute_pool
-            )
+            if self._group_runner is not None:
+                # fleet (or test-injected) runner: it sees only job groups,
+                # so the lifecycle transition happens here
+                for group in groups.values():
+                    for job in group:
+                        job.status = JobStatus.RUNNING
+                runner = self._group_runner
+            else:
+                tasks = sum(
+                    len(group[0].options.backends()) * max(1, group[0].options.shards)
+                    for group in groups.values()
+                )
+                runner = (
+                    self._execute_serial
+                    if self.workers <= 1 or tasks == 1
+                    else self._execute_pool
+                )
             for key, payload in runner(groups):
                 with self._cv:
                     # snapshot-and-retire the group: submissions from here

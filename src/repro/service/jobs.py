@@ -59,6 +59,10 @@ class SynthesisOptions:
     plan is a correct plan for the same problem, so cached plans remain
     interchangeable (which plan wins a race is not deterministic).
     Sharding needs the pool: serial execution runs unsharded.
+    ``use_plan_cache`` gates the *plan cache* lookup (not the verdict
+    memo): load generators turn it off to force real synthesis on repeat
+    traffic.  Excluded from the identity for the same reason as
+    ``memoize`` — it changes how a plan is obtained, never which plan.
     """
 
     checker: str = "incremental"
@@ -71,6 +75,7 @@ class SynthesisOptions:
     portfolio: Tuple[str, ...] = ()
     memoize: bool = True
     shards: int = 1
+    use_plan_cache: bool = True
 
     def backends(self) -> Tuple[str, ...]:
         """The checker backends this job will try (portfolio or singleton)."""

@@ -378,6 +378,35 @@ class TestProtocolErrors:
         finally:
             conn.close()
 
+    @pytest.mark.parametrize(
+        "value", ["soon", "-1", "-0.5", "nan", "inf", "-inf", "1e300", "1e7"]
+    )
+    def test_bad_wait_is_400_parse_envelope(self, server, value):
+        """Regression: negative, non-numeric, NaN/inf, and absurdly large
+        wait= used to clamp silently (NaN clamped to the *maximum* wait)."""
+        client = ReproClient(server.url)
+        view = client.submit(fig1_problem())
+        client.result(view.job_id, timeout=60)
+        for path in ("/v1/jobs", f"/v1/jobs/{view.job_id}"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{server.url}{path}?wait={value}")
+            assert excinfo.value.code == 400
+            envelope = json.loads(excinfo.value.read())
+            assert envelope["error"]["code"] == "parse"
+            assert "wait" in envelope["error"]["message"]
+
+    @pytest.mark.parametrize("value", ["0", "0.05", "100000"])
+    def test_valid_wait_values_accepted(self, server, value):
+        # merely-large finite values clamp to MAX_WAIT_SECONDS, they are
+        # not an error (looping clients rely on the clamp)
+        client = ReproClient(server.url)
+        view = client.submit(fig1_problem())
+        client.result(view.job_id, timeout=60)
+        reply = urllib.request.urlopen(
+            f"{server.url}/v1/jobs/{view.job_id}?wait={value}"
+        )
+        assert reply.status == 200
+
     def test_unknown_endpoint_is_404(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(server.url + "/v2/jobs")
@@ -393,6 +422,68 @@ class TestProtocolErrors:
             assert gauge in metrics["gauges"]
         stats = client.cache_stats()
         assert "entries" in stats and "hits" in stats
+
+
+class TestClientRetry:
+    """Idempotent GETs ride out transient transport failures; POSTs and
+    HTTP-level errors never retry."""
+
+    def flaky_urlopen(self, monkeypatch, failures):
+        """Patch urlopen to raise URLError ``failures`` times, then pass
+        through; returns the call counter."""
+        real = urllib.request.urlopen
+        calls = {"n": 0}
+
+        def flaky(request, timeout=None):
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise urllib.error.URLError(ConnectionResetError("flaky"))
+            return real(request, timeout=timeout)
+
+        monkeypatch.setattr(urllib.request, "urlopen", flaky)
+        return calls
+
+    def test_get_retries_transient_transport_errors(self, server, monkeypatch):
+        client = ReproClient(server.url, max_retries=2, retry_backoff=0.0)
+        calls = self.flaky_urlopen(monkeypatch, failures=2)
+        assert client.healthz()["ok"] is True
+        assert calls["n"] == 3
+
+    def test_retries_exhausted_surface_the_transport_error(
+        self, server, monkeypatch
+    ):
+        from repro.errors import ReproError
+
+        client = ReproClient(server.url, max_retries=2, retry_backoff=0.0)
+        calls = self.flaky_urlopen(monkeypatch, failures=10)
+        with pytest.raises(ReproError, match="unreachable"):
+            client.healthz()
+        assert calls["n"] == 3  # first attempt + max_retries
+
+    def test_post_never_retries(self, server, monkeypatch):
+        from repro.errors import ReproError
+
+        client = ReproClient(server.url, max_retries=5, retry_backoff=0.0)
+        calls = self.flaky_urlopen(monkeypatch, failures=10)
+        with pytest.raises(ReproError, match="unreachable"):
+            client.submit(fig1_problem())
+        assert calls["n"] == 1  # a resubmitted job would be a duplicate
+
+    def test_http_error_responses_are_not_retried(self, server, monkeypatch):
+        client = ReproClient(server.url, max_retries=5, retry_backoff=0.0)
+        calls = self.flaky_urlopen(monkeypatch, failures=0)
+        with pytest.raises(KeyError):
+            client.try_result("never-submitted")  # 404: the server spoke
+        assert calls["n"] == 1
+
+    def test_retries_disabled_by_default_zero(self, server, monkeypatch):
+        from repro.errors import ReproError
+
+        client = ReproClient(server.url, max_retries=0)
+        calls = self.flaky_urlopen(monkeypatch, failures=1)
+        with pytest.raises(ReproError, match="unreachable"):
+            client.healthz()
+        assert calls["n"] == 1
 
 
 class TestCliFrontEnds:

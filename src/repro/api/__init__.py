@@ -17,9 +17,11 @@ from repro.api.schema import (
     LeaseCompletion,
     LeaseGrant,
     LeaseRequest,
+    SynthesisDelta,
     SynthesisRequest,
     SynthesisResponse,
     check_api_version,
+    is_delta_document,
     memo_snapshot_from_wire,
     memo_snapshot_to_wire,
     options_from_dict,
@@ -35,9 +37,11 @@ __all__ = [
     "LeaseCompletion",
     "LeaseGrant",
     "LeaseRequest",
+    "SynthesisDelta",
     "SynthesisRequest",
     "SynthesisResponse",
     "check_api_version",
+    "is_delta_document",
     "memo_snapshot_from_wire",
     "memo_snapshot_to_wire",
     "options_from_dict",

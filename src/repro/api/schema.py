@@ -7,6 +7,12 @@ JSON-safe dicts:
 
 * :class:`SynthesisRequest` — a problem plus the options to solve it
   under, built on :func:`~repro.net.serialize.problem_to_dict`;
+* :class:`SynthesisDelta` — a *delta* submission for streaming workloads:
+  the fingerprint of a previously submitted base problem plus a
+  structured :class:`~repro.net.delta.ProblemPatch` (link add/remove,
+  rule change, ingress change, spec swap).  The scheduler resolves it
+  against the retained base and warm-starts the search from the base
+  plan's order; see :meth:`SynthesisDelta.from_dict`;
 * :class:`JobView` — the lightweight lifecycle view of a submitted job
   (what ``GET /v1/jobs`` lists);
 * :class:`SynthesisResponse` — a settled job's verdict, carrying the plan
@@ -42,11 +48,14 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.errors import ParseError, ReproError, error_code, exit_code_for
 from repro.mc.interface import CHECKER_NAMES
+from repro.net.delta import ProblemPatch
 from repro.net.serialize import (
     Problem,
     plan_from_dict,
     problem_from_dict,
     problem_to_dict,
+    unit_order_from_wire,
+    unit_order_to_wire,
 )
 from repro.net.fields import TrafficClass
 from repro.perf.memo import MemoSnapshot
@@ -234,6 +243,94 @@ class SynthesisRequest:
         if job_id is not None:
             job_id = str(job_id)
         return cls(problem=problem, options=options, job_id=job_id)
+
+
+@dataclass(frozen=True)
+class SynthesisDelta:
+    """A delta submission: edit a retained base problem instead of
+    resending it.
+
+    ``base`` is the fingerprint of a previously submitted problem (the
+    ``fingerprint`` field of its :class:`JobView` / :class:`SynthesisResponse`);
+    ``patch`` is the structured edit.  The scheduler resolves the patch
+    against its retained copy of the base, reuses the base's warm caches,
+    and seeds the search with the base plan's unit order.  A delta whose
+    base the scheduler no longer retains is *not* a parse error — it is a
+    missing resource (HTTP 404 / ``not_found`` envelope), and clients that
+    still hold the base problem fall back to a cold full submission.
+
+    ``options`` follows the same sparse-merge contract as
+    :class:`SynthesisRequest`; when omitted, the delta inherits the
+    *retained base job's* options (not the scheduler's defaults), so the
+    granularity and checker match the base plan whose unit order seeds the
+    warm start.
+
+    >>> delta = SynthesisDelta.from_dict(
+    ...     {"api": "repro-api/1", "base": "fp123", "patch": {"spec": "true"}}
+    ... )
+    >>> delta.base
+    'fp123'
+    >>> delta.patch.spec
+    'true'
+    >>> sorted(delta.to_dict())
+    ['api', 'base', 'patch']
+    >>> SynthesisDelta.from_dict({"patch": {}})
+    Traceback (most recent call last):
+        ...
+    repro.errors.ParseError: delta: missing or empty 'base'
+    """
+
+    base: str
+    patch: ProblemPatch
+    options: Union[SynthesisOptions, Mapping[str, Any], None] = None
+    job_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "api": API_VERSION,
+            "base": self.base,
+            "patch": self.patch.to_dict(),
+        }
+        if isinstance(self.options, SynthesisOptions):
+            out["options"] = options_to_dict(self.options)
+        elif self.options is not None:
+            out["options"] = dict(self.options)
+        if self.job_id is not None:
+            out["id"] = self.job_id
+        return out
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Any],
+        *,
+        option_defaults: Optional[SynthesisOptions] = None,
+    ) -> "SynthesisDelta":
+        """Parse a delta document; malformed patches raise
+        :class:`~repro.errors.ParseError` (HTTP 400)."""
+        if not isinstance(data, Mapping):
+            raise ParseError(f"delta: expected an object, got {data!r}")
+        check_api_version(data, where="delta")
+        base = _require_str(data, "base", where="delta")
+        patch_data = data.get("patch")
+        if not isinstance(patch_data, Mapping):
+            raise ParseError("delta: missing 'patch' object")
+        patch = ProblemPatch.from_dict(patch_data)
+        options = (
+            options_from_dict(data["options"], option_defaults)
+            if "options" in data
+            else None
+        )
+        job_id = data.get("id")
+        if job_id is not None:
+            job_id = str(job_id)
+        return cls(base=base, patch=patch, options=options, job_id=job_id)
+
+
+def is_delta_document(data: Mapping[str, Any]) -> bool:
+    """True when a ``POST /v1/jobs`` entry is a delta (has a ``base`` key)
+    rather than a full :class:`SynthesisRequest` (has a ``problem`` key)."""
+    return isinstance(data, Mapping) and "base" in data
 
 
 # ----------------------------------------------------------------------
@@ -559,6 +656,12 @@ class LeaseGrant:
     a wire-encoded snapshot of it (``memo``), and the lease terms —
     ``deadline_seconds`` before an unheartbeated lease is re-enqueued,
     and ``attempt`` (1-based) for observability.
+
+    ``warm_order`` is the delta path's base-plan hint: when the leased
+    group came from a delta submission, the coordinator forwards the base
+    plan's unit order so the runner warm-starts its search exactly like a
+    local execution would (:func:`~repro.net.serialize.unit_order_to_wire`
+    on the wire).
     """
 
     lease_id: str
@@ -569,6 +672,7 @@ class LeaseGrant:
     memo: Optional[str] = None
     deadline_seconds: float = 30.0
     attempt: int = 1
+    warm_order: Optional[Tuple[Any, ...]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -584,6 +688,8 @@ class LeaseGrant:
             out["scope"] = self.scope
         if self.memo is not None:
             out["memo"] = self.memo
+        if self.warm_order is not None:
+            out["warm_order"] = unit_order_to_wire(self.warm_order)
         return out
 
     @classmethod
@@ -626,6 +732,13 @@ class LeaseGrant:
         memo = data.get("memo")
         if memo is not None and not isinstance(memo, str):
             raise ParseError(f"lease grant: memo must be a string, got {memo!r}")
+        warm_order = data.get("warm_order")
+        if warm_order is not None:
+            if not isinstance(warm_order, (list, tuple)):
+                raise ParseError(
+                    f"lease grant: warm_order must be a list, got {warm_order!r}"
+                )
+            warm_order = tuple(unit_order_from_wire(warm_order))
         return cls(
             lease_id=lease_id,
             fingerprint=str(data.get("fingerprint", "")),
@@ -635,6 +748,7 @@ class LeaseGrant:
             memo=memo,
             deadline_seconds=float(deadline),
             attempt=attempt,
+            warm_order=warm_order,
         )
 
 

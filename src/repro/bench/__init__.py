@@ -1,6 +1,11 @@
 """Experiment drivers regenerating the paper's tables and figures (§6),
 plus the ``repro bench`` suite runner / regression harness."""
 
+from repro.bench.churn import (
+    CHURN_SPEEDUP_TARGET,
+    format_churn_summary,
+    run_churn_suite,
+)
 from repro.bench.measure import geometric_mean, timed
 from repro.bench.report import format_series, format_table
 from repro.bench import experiments
@@ -27,4 +32,7 @@ __all__ = [
     "load_bench",
     "run_suite",
     "write_bench",
+    "CHURN_SPEEDUP_TARGET",
+    "format_churn_summary",
+    "run_churn_suite",
 ]

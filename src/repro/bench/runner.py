@@ -170,6 +170,13 @@ def write_bench(document: Dict[str, Any], path: str) -> None:
 
 
 def load_bench(path: str) -> Dict[str, Any]:
+    if not os.path.exists(path):
+        # the common CI mistake — comparing against a baseline nobody has
+        # committed yet — deserves a recipe, not a stack trace
+        raise ReproError(
+            f"no BENCH baseline at {path} — generate one with "
+            f"`repro bench --suite <name> --out {path}` and commit it"
+        )
     try:
         with open(path) as handle:
             document = json.load(handle)

@@ -42,7 +42,11 @@ Subcommands:
   cache + cross-job verdict-memo sharing) and stream one JSON result object
   per line to stdout.  Each input line is a problem document (the
   ``synthesize`` format), optionally with extra ``"id"``, ``"timeout"`` and
-  ``"granularity"`` keys.  ``--shards N`` races N disjoint slices of each
+  ``"granularity"`` keys; a line with ``"base"``/``"patch"`` keys instead
+  is a *delta* against an earlier line's job (``repro corpus --suite
+  churn`` emits such streams) — the batch front-end settles the base
+  first, then submits the patch so the base plan warm-starts the search.
+  ``--shards N`` races N disjoint slices of each
   job's search space across the worker pool.  An empty (or comment-only)
   file is a valid empty batch: the result stream is empty and the exit
   status is 0.  With ``--server URL`` the batch routes through
@@ -56,7 +60,10 @@ Subcommands:
   counters); ``bench --compare BASELINE CURRENT`` diffs two such documents
   (reporting the median per-scenario speedup) and exits non-zero when a
   regression exceeds ``--threshold``.  ``--no-memo`` disables the
-  cross-candidate verdict memo for A/B runs.
+  cross-candidate verdict memo for A/B runs.  ``--suite churn`` runs the
+  two-pass delta benchmark (:mod:`repro.bench.churn`): every churn trace
+  replayed cold and as chained deltas, self-gated on the median delta
+  speedup (exit 1 below target).
 * ``profile --suite NAME`` — run a suite in-process and write a
   schema-versioned ``PROFILE_<suite>.json`` attributing wall time to
   phases (labeling, SAT ordering, wait removal, memo probes).
@@ -86,7 +93,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type names for BatchJob only
+    from repro.net.delta import ProblemPatch
 
 from repro.errors import (
     EXIT_FAILURE,
@@ -368,13 +379,36 @@ def _portfolio_arg(value: str):
     return backends
 
 
-def _load_batch_jobs(path: str):
-    """Parse a JSONL problems file into (job_id, timeout, granularity, Problem).
+@dataclass
+class BatchJob:
+    """One parsed line of the batch JSONL format.
+
+    A full line carries ``problem``; a delta line instead carries
+    ``base_id`` (the ``id`` of an earlier line in the same file) and
+    ``patch`` — the front-end resolves the base id to that job's
+    fingerprint at submission time, waiting out the base's verdict first
+    so its plan can warm-start the delta (see ``docs/API.md``).
+    """
+
+    job_id: str
+    timeout: Optional[float]
+    granularity: Optional[str]
+    problem: Optional["Problem"] = None
+    base_id: Optional[str] = None
+    patch: Optional["ProblemPatch"] = None
+
+
+def _load_batch_jobs(path: str) -> "List[BatchJob]":
+    """Parse a JSONL problems file into :class:`BatchJob` entries.
 
     Blank and ``#``-comment lines are skipped, so an empty file is a valid
-    empty batch (zero jobs, empty result stream, exit status 0).
+    empty batch (zero jobs, empty result stream, exit status 0).  Lines
+    with a ``base`` key are delta documents (``repro corpus --suite
+    churn`` emits them); everything else is a full problem document.
     """
-    jobs = []
+    from repro.net.delta import ProblemPatch
+
+    jobs: List[BatchJob] = []
     handle = sys.stdin if path == "-" else open(path, encoding="utf-8-sig")
     try:
         for lineno, line in enumerate(handle, start=1):
@@ -402,11 +436,31 @@ def _load_batch_jobs(path: str):
                     f"{path}:{lineno}: 'granularity' must be 'switch' or "
                     f"'rule', got {granularity!r}"
                 )
+            if "base" in data:
+                base_id = data.get("base")
+                if not isinstance(base_id, str) or not base_id:
+                    raise ParseError(
+                        f"{path}:{lineno}: delta 'base' must be the id of an "
+                        f"earlier line, got {base_id!r}"
+                    )
+                patch_data = data.get("patch")
+                if not isinstance(patch_data, dict):
+                    raise ParseError(
+                        f"{path}:{lineno}: delta line needs a 'patch' object"
+                    )
+                try:
+                    patch = ProblemPatch.from_dict(patch_data)
+                except ReproError as err:
+                    raise ParseError(f"{path}:{lineno}: {err}") from err
+                jobs.append(
+                    BatchJob(job_id, timeout, granularity, base_id=base_id, patch=patch)
+                )
+                continue
             try:
                 problem = problem_from_dict(data)
             except (ReproError, KeyError, TypeError, ValueError) as err:
                 raise ParseError(f"{path}:{lineno}: bad problem: {err}") from err
-            jobs.append((job_id, timeout, granularity, problem))
+            jobs.append(BatchJob(job_id, timeout, granularity, problem=problem))
     finally:
         if handle is not sys.stdin:
             handle.close()
@@ -447,20 +501,44 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
         engine = ReproClient(args.server, default_options=options)
-        requests = []
-        for job_id, timeout, granularity, problem in jobs:
+        views = {}
+        pending = []
+
+        def flush() -> None:
+            if pending:
+                for view in engine.submit_requests(list(pending)):
+                    views[view.job_id] = view
+                pending.clear()
+
+        for job in jobs:
             opts = (
                 options
-                if granularity is None
-                else replace(options, granularity=granularity)
+                if job.granularity is None
+                else replace(options, granularity=job.granularity)
             )
-            if timeout is not None:
-                opts = opts.with_timeout(timeout)
-            requests.append(
-                SynthesisRequest(problem=problem, options=opts, job_id=job_id)
+            if job.timeout is not None:
+                opts = opts.with_timeout(job.timeout)
+            if job.patch is None:
+                pending.append(
+                    SynthesisRequest(
+                        problem=job.problem, options=opts, job_id=job.job_id
+                    )
+                )
+                continue
+            # a delta line: settle its base first so the server has the
+            # base plan cached to warm-start the patched search from
+            flush()
+            base_view = views.get(job.base_id)
+            if base_view is None:
+                raise ParseError(
+                    f"batch delta {job.job_id!r} references unknown base id "
+                    f"{job.base_id!r} (deltas must follow their base line)"
+                )
+            engine.result(base_view.job_id)
+            views[job.job_id] = engine.submit_delta(
+                base_view.fingerprint, job.patch, options=opts, job_id=job.job_id
             )
-        if requests:
-            engine.submit_requests(requests)  # one POST for the whole batch
+        flush()  # deltas aside, the whole batch is one POST
     else:
         engine = SynthesisService(
             workers=0 if args.serial else args.workers,
@@ -473,13 +551,32 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 f"(resolved workers: {engine.workers}); running unsharded",
                 file=sys.stderr,
             )
-        for job_id, timeout, granularity, problem in jobs:
+        submitted = {}
+        for job in jobs:
             opts = (
                 options
-                if granularity is None
-                else replace(options, granularity=granularity)
+                if job.granularity is None
+                else replace(options, granularity=job.granularity)
             )
-            engine.submit(problem, job_id=job_id, timeout=timeout, options=opts)
+            if job.patch is None:
+                submitted[job.job_id] = engine.submit(
+                    job.problem, job_id=job.job_id, timeout=job.timeout, options=opts
+                )
+                continue
+            base_job = submitted.get(job.base_id)
+            if base_job is None:
+                raise ParseError(
+                    f"batch delta {job.job_id!r} references unknown base id "
+                    f"{job.base_id!r} (deltas must follow their base line)"
+                )
+            engine.result(base_job.job_id)  # cache the base plan first
+            submitted[job.job_id] = engine.submit_delta(
+                base_job.fingerprint,
+                job.patch,
+                options=opts,
+                job_id=job.job_id,
+                timeout=job.timeout,
+            )
     errored = False
     for result in engine.stream():
         errored = errored or result.status.value == "error"
@@ -708,6 +805,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         raise ReproError("bench needs --suite NAME (or --compare BASELINE CURRENT)")
     if args.shards < 1:
         raise ParseError(f"--shards must be >= 1, got {args.shards}")
+    if args.suite == "churn":
+        # the churn suite is a two-pass delta benchmark with its own
+        # (always serial) runner and a self-gated speedup target
+        from repro.bench.churn import format_churn_summary, run_churn_suite
+
+        for flag, name in (
+            (bool(args.workers), "--workers"),
+            (args.shards > 1, "--shards"),
+        ):
+            if flag:
+                print(
+                    f"warning: {name} is ignored for the churn suite "
+                    "(both passes run serially for fair timing)",
+                    file=sys.stderr,
+                )
+        document = run_churn_suite(
+            quick=args.quick,
+            base_seed=args.seed,
+            timeout=args.timeout,
+            checker=args.checker,
+            memoize=not args.no_memo,
+        )
+        out_path = args.out or "BENCH_churn.json"
+        write_bench(document, out_path)
+        if args.json:
+            json.dump(document, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+        else:
+            print(format_churn_summary(document))
+            print(f"wrote {out_path}")
+        return EXIT_OK if document["totals"]["churn"]["ok"] else EXIT_FAILURE
     document = run_suite(
         args.suite,
         quick=args.quick,
@@ -974,7 +1102,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_corpus.add_argument("--suite", required=True,
                           help="suite name (see repro.scenarios.suites: "
-                               "smoke, full, zoo)")
+                               "smoke, full, zoo, churn)")
     p_corpus.add_argument("--quick", action="store_true",
                           help="use the suite's scaled-down CI sizes")
     p_corpus.add_argument("--seed", type=int, default=0,
@@ -989,7 +1117,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run a scenario-suite benchmark / compare two BENCH runs"
     )
     p_bench.add_argument("--suite", default=None,
-                         help="suite to run (smoke, full, zoo)")
+                         help="suite to run (smoke, full, zoo, or churn — "
+                              "the two-pass delta benchmark)")
     p_bench.add_argument("--quick", action="store_true",
                          help="use the suite's scaled-down CI sizes")
     p_bench.add_argument("--seed", type=int, default=0,

@@ -437,6 +437,12 @@ class FleetCoordinator:
             if len(snapshot):
                 memo_wire = memo_snapshot_to_wire(snapshot)
         job = pending.group[0]
+        # delta submissions ride their base-plan hint out to the runner so
+        # remote executions warm-start exactly like local ones would
+        warm_order = next(
+            (j.warm_order for j in pending.group if j.warm_order is not None),
+            None,
+        )
         return LeaseGrant(
             lease_id=lease_id,
             fingerprint=job.fingerprint,
@@ -446,6 +452,7 @@ class FleetCoordinator:
             memo=memo_wire,
             deadline_seconds=self.lease_ttl,
             attempt=pending.attempt,
+            warm_order=warm_order,
         )
 
     def _settle_locked(

@@ -164,8 +164,14 @@ class FleetWorker:
         )
 
     def _run_group(self, grant: LeaseGrant) -> Dict[str, Any]:
-        """Execute one leased group on the embedded engine."""
-        job = self.service.submit(grant.problem, options=grant.options)
+        """Execute one leased group on the embedded engine; the grant's
+        base-plan hint (delta submissions) warm-starts the search here just
+        as it would on the coordinator's own pool."""
+        job = self.service.submit(
+            grant.problem,
+            options=grant.options,
+            warm_order=grant.warm_order,
+        )
         result = self.service.result(job.job_id)
         return _payload_from_result(result)
 

@@ -243,11 +243,42 @@ def plan_to_dict(plan: UpdatePlan) -> Dict[str, Any]:
             "memo_hits": plan.stats.memo_hits,
             "memo_pruned": plan.stats.memo_pruned,
             "shards": plan.stats.shards,
+            "warm_units": plan.stats.warm_units,
+            "warm_hits": plan.stats.warm_hits,
             "labeling_seconds": plan.stats.labeling_seconds,
             "sat_seconds": plan.stats.sat_seconds,
             "memo_seconds": plan.stats.memo_seconds,
         },
     }
+
+
+def unit_order_to_wire(order: Sequence[Any]) -> List[Any]:
+    """A search-unit order as a JSON-safe list.
+
+    Switch-granularity units (plain node ids) pass through as strings;
+    rule-granularity units (``(switch, class_name)`` tuples) become
+    two-element lists.  Inverse: :func:`unit_order_from_wire`.
+    """
+    wire: List[Any] = []
+    for unit in order:
+        if isinstance(unit, tuple):
+            wire.append([str(unit[0]), str(unit[1])])
+        else:
+            wire.append(str(unit))
+    return wire
+
+
+def unit_order_from_wire(data: Sequence[Any]) -> List[Any]:
+    """Inverse of :func:`unit_order_to_wire` (lists back to unit tuples)."""
+    order: List[Any] = []
+    for entry in data:
+        if isinstance(entry, str):
+            order.append(entry)
+        elif isinstance(entry, (list, tuple)) and len(entry) == 2:
+            order.append((str(entry[0]), str(entry[1])))
+        else:
+            raise ParseError(f"bad warm-order unit {entry!r}")
+    return order
 
 
 def command_from_dict(
@@ -299,6 +330,8 @@ def plan_from_dict(
     plan.stats.memo_hits = int(stats.get("memo_hits", 0))
     plan.stats.memo_pruned = int(stats.get("memo_pruned", 0))
     plan.stats.shards = int(stats.get("shards", 0))
+    plan.stats.warm_units = int(stats.get("warm_units", 0))
+    plan.stats.warm_hits = int(stats.get("warm_hits", 0))
     plan.stats.labeling_seconds = float(stats.get("labeling_seconds", 0.0))
     plan.stats.sat_seconds = float(stats.get("sat_seconds", 0.0))
     plan.stats.memo_seconds = float(stats.get("memo_seconds", 0.0))

@@ -128,6 +128,42 @@ class Topology:
         self._port_to[(node_b, node_a)] = port_b
         return link
 
+    def remove_link(self, node_a: NodeId, node_b: NodeId) -> Link:
+        """Unwire the link between ``node_a`` and ``node_b``.
+
+        The edge update behind delta requests (:mod:`repro.net.delta`):
+        every index touched by :meth:`add_link` is reverted in place — the
+        freed ports may be re-used by a later :meth:`add_link` with explicit
+        port numbers, and no other adjacency is recomputed.
+        """
+        if (node_a, node_b) not in self._port_to:
+            raise TopologyError(f"no link {node_a!r} <-> {node_b!r} to remove")
+        port_a = self._port_to.pop((node_a, node_b))
+        port_b = self._port_to.pop((node_b, node_a))
+        link = Link(node_a, port_a, node_b, port_b)
+        try:
+            self._links.remove(link)
+        except ValueError:
+            self._links.remove(Link(node_b, port_b, node_a, port_a))
+        del self._peer[(node_a, port_a)]
+        del self._peer[(node_b, port_b)]
+        self._ports[node_a].remove(port_a)
+        self._ports[node_b].remove(port_b)
+        return link
+
+    def copy(self) -> "Topology":
+        """An independent structural copy (index dicts duplicated, nothing
+        re-derived) — the cheap base for applying a delta patch."""
+        clone = Topology()
+        clone._switches = set(self._switches)
+        clone._hosts = set(self._hosts)
+        clone._links = list(self._links)
+        clone._next_port = dict(self._next_port)
+        clone._peer = dict(self._peer)
+        clone._ports = {node: list(ports) for node, ports in self._ports.items()}
+        clone._port_to = dict(self._port_to)
+        return clone
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

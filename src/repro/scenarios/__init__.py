@@ -9,6 +9,13 @@ format — see ``repro corpus`` and ``repro bench``.
 """
 
 from repro.scenarios.builders import FAMILIES, family_scenarios, scenario_for_prop
+from repro.scenarios.churn import (
+    ChurnTrace,
+    churn_records,
+    generate_churn,
+    onboarding_fan_problems,
+    patch_between,
+)
 from repro.scenarios.corpus import (
     CORPUS_SCHEMA,
     ScenarioRecord,
@@ -36,4 +43,9 @@ __all__ = [
     "get_suite",
     "TEMPLATES",
     "apply_template",
+    "ChurnTrace",
+    "churn_records",
+    "generate_churn",
+    "onboarding_fan_problems",
+    "patch_between",
 ]

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.ltl.parser import parse
+from repro.net.delta import ProblemPatch
 from repro.net.failures import fail_link, links_used
 from repro.net.serialize import Problem, problem_to_dict
 from repro.net.topology import Topology
@@ -49,7 +50,14 @@ def _tier(switches: int) -> str:
 
 @dataclass
 class ScenarioRecord:
-    """One generated problem plus the metadata the bench runner reports on."""
+    """One generated problem plus the metadata the bench runner reports on.
+
+    Churn-suite step records additionally carry ``base_id`` (the
+    scenario id of the record this step edits) and ``patch`` (the
+    structured edit); their JSONL line is then a **delta document** —
+    ``base``/``patch`` instead of the full problem — while ``problem``
+    still holds the resolved step problem for in-process replay.
+    """
 
     scenario_id: str
     suite: str
@@ -63,10 +71,24 @@ class ScenarioRecord:
     problem: Problem
     switches: int
     updating: int
+    base_id: Optional[str] = None
+    patch: Optional["ProblemPatch"] = None
 
     def to_jobs_dict(self) -> Dict[str, Any]:
-        """One line of the batch-service JSONL problem format."""
-        doc = problem_to_dict(self.problem)
+        """One line of the batch-service JSONL problem format.
+
+        Full records serialize the whole problem document; delta records
+        (``patch`` set) serialize ``{"base": <scenario id>, "patch":
+        {...}}`` — the batch front-ends resolve ``base`` to the referenced
+        job's fingerprint at submission time (see ``docs/API.md``).
+        """
+        if self.patch is not None:
+            doc: Dict[str, Any] = {
+                "base": self.base_id,
+                "patch": self.patch.to_dict(),
+            }
+        else:
+            doc = problem_to_dict(self.problem)
         doc["id"] = self.scenario_id
         doc["granularity"] = self.granularity
         doc["meta"] = {
@@ -255,6 +277,12 @@ def generate_corpus(
     """
     if isinstance(suite, str):
         suite = get_suite(suite)
+    if suite.name == "churn":
+        # churn is a *trace* suite — chained delta steps, not a family
+        # grid — so it has its own expansion (repro.scenarios.churn)
+        from repro.scenarios.churn import churn_records
+
+        return churn_records(quick=quick, base_seed=base_seed)
     records: List[ScenarioRecord] = []
     for block in suite.blocks:
         params = block.sized_params(quick)

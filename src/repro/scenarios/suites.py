@@ -148,8 +148,21 @@ ZOO = Suite(
     ),
 )
 
+CHURN = Suite(
+    name="churn",
+    description=(
+        "streaming delta traces: rolling onboarding waves plus link-flap "
+        "noise, one base problem then chained patches per trace"
+    ),
+    # churn is expanded by repro.scenarios.churn, not the family-grid
+    # generator, so it declares no blocks
+    blocks=(),
+)
+
 #: the suite registry, in display order
-SUITES: Dict[str, Suite] = {suite.name: suite for suite in (SMOKE, FULL, ZOO)}
+SUITES: Dict[str, Suite] = {
+    suite.name: suite for suite in (SMOKE, FULL, ZOO, CHURN)
+}
 
 
 def get_suite(name: str) -> Suite:

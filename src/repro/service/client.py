@@ -40,10 +40,12 @@ from repro.api import (
     LeaseCompletion,
     LeaseGrant,
     LeaseRequest,
+    SynthesisDelta,
     SynthesisRequest,
     SynthesisResponse,
 )
 from repro.errors import FleetError, ParseError, ReproError
+from repro.net.delta import ProblemPatch
 from repro.net.fields import TrafficClass
 from repro.net.serialize import Problem
 from repro.service.jobs import JobResult, JobStatus, SynthesisOptions
@@ -88,8 +90,12 @@ class ReproClient:
         self.max_retries = max(0, max_retries)
         self.retry_backoff = max(0.0, retry_backoff)
         # per submitted job: the traffic classes needed to rehydrate plans,
-        # and the submission order backing stream()/run()
+        # and the submission order backing stream()/run().  _base_problems
+        # keeps each submitted problem by its server-side fingerprint so
+        # submit_delta can fall back to a cold submission when the server
+        # no longer retains the base.
         self._classes: Dict[str, Dict[str, TrafficClass]] = {}
+        self._base_problems: Dict[str, Problem] = {}
         self._order: List[str] = []
         self._delivered: set = set()
         self._last_order: List[str] = []
@@ -187,13 +193,68 @@ class ReproClient:
         if len(views) != 1:
             raise ReproError(f"expected one job view, got {len(views)}")
         view = views[0]
-        self._remember(view.job_id, problem)
+        self._remember(view.job_id, problem, fingerprint=view.fingerprint)
+        return view
+
+    def submit_delta(
+        self,
+        base: str,
+        patch: ProblemPatch,
+        *,
+        options: Optional[SynthesisOptions] = None,
+        options_data: Optional[Dict[str, Any]] = None,
+        job_id: Optional[str] = None,
+        timeout: Optional[float] = None,
+        base_problem: Optional[Problem] = None,
+        fallback: bool = True,
+    ) -> JobView:
+        """Submit a delta: a patch against an already-submitted base.
+
+        ``base`` is the base job's fingerprint (the ``fingerprint`` field
+        of its :class:`~repro.api.JobView` or result).  The server resolves
+        the patch against its retained copy and warm-starts the search
+        from the base plan's order — the streaming path: only the edit
+        crosses the wire.
+
+        If the server answers 404 (the base was never submitted there, or
+        was evicted) and ``fallback`` is true, the client applies the
+        patch locally and re-submits the full problem cold — using
+        ``base_problem`` if given, else the problem this client remembers
+        submitting under that fingerprint.  With no base problem at hand
+        the 404 surfaces as ``KeyError``.
+        """
+        opts = self._resolve_options(options, options_data, timeout)
+        delta = SynthesisDelta(base=base, patch=patch, options=opts, job_id=job_id)
+        known_base = (
+            base_problem
+            if base_problem is not None
+            else self._base_problems.get(base)
+        )
+        try:
+            document = self._request("POST", "/v1/jobs", body=delta.to_dict())
+        except KeyError:
+            if not fallback or known_base is None:
+                raise
+            return self.submit(
+                patch.apply_to(known_base),
+                options=options,
+                options_data=options_data,
+                job_id=job_id,
+                timeout=timeout,
+            )
+        views = [JobView.from_dict(entry) for entry in document.get("jobs", [])]
+        if len(views) != 1:
+            raise ReproError(f"expected one job view, got {len(views)}")
+        view = views[0]
+        resolved = patch.apply_to(known_base) if known_base is not None else None
+        self._remember(view.job_id, resolved, fingerprint=view.fingerprint, base=base)
         return view
 
     def submit_requests(
-        self, requests: List[SynthesisRequest]
+        self, requests: Sequence[Any]
     ) -> List[JobView]:
-        """Submit pre-built request documents in one ``POST /v1/jobs``."""
+        """Submit pre-built :class:`~repro.api.SynthesisRequest` /
+        :class:`~repro.api.SynthesisDelta` documents in one ``POST /v1/jobs``."""
         document = self._request(
             "POST",
             "/v1/jobs",
@@ -205,7 +266,23 @@ class ReproClient:
                 f"expected {len(requests)} job views, got {len(views)}"
             )
         for view, request in zip(views, requests):
-            self._remember(view.job_id, request.problem)
+            if isinstance(request, SynthesisDelta):
+                known_base = self._base_problems.get(request.base)
+                resolved = (
+                    request.patch.apply_to(known_base)
+                    if known_base is not None
+                    else None
+                )
+                self._remember(
+                    view.job_id,
+                    resolved,
+                    fingerprint=view.fingerprint,
+                    base=request.base,
+                )
+            else:
+                self._remember(
+                    view.job_id, request.problem, fingerprint=view.fingerprint
+                )
         return views
 
     def submit_many(
@@ -243,8 +320,27 @@ class ReproClient:
                 opts = dict(opts, timeout=timeout)
         return opts
 
-    def _remember(self, job_id: str, problem: Problem) -> None:
-        self._classes[job_id] = {tc.name: tc for tc in problem.classes}
+    def _remember(
+        self,
+        job_id: str,
+        problem: Optional[Problem],
+        *,
+        fingerprint: str = "",
+        base: Optional[str] = None,
+    ) -> None:
+        """Track a submission: classes for plan rehydration, order for
+        ``stream``/``run``, and the problem under its fingerprint for delta
+        fallback.  A delta whose base problem the client never saw has
+        ``problem=None`` — its plan rehydrates with name-only classes
+        inherited from the base's record when available."""
+        if problem is not None:
+            self._classes[job_id] = {tc.name: tc for tc in problem.classes}
+            if fingerprint:
+                self._base_problems[fingerprint] = problem
+        elif base is not None and base in self._base_problems:
+            self._classes[job_id] = {
+                tc.name: tc for tc in self._base_problems[base].classes
+            }
         self._order.append(job_id)
 
     # ------------------------------------------------------------------

@@ -51,6 +51,13 @@ submissions, not just within one batch.  In the CDCL framing this is
 clause sharing between parallel solvers, with the memo and plan cache
 kept hot across requests instead of rebuilt per batch.
 
+Streaming callers can submit **deltas** instead of full problems:
+:meth:`SynthesisService.submit_delta` resolves a
+:class:`~repro.net.delta.ProblemPatch` against a retained base problem
+(every submission is kept, LRU-bounded by :data:`BASE_RETENTION`) and
+warm-starts the search from the base plan's unit order — the churn path
+of the ``repro-api/1`` delta extension (see ``docs/API.md``).
+
 Hard jobs can additionally be *sharded*: ``SynthesisOptions.shards = N``
 splits the order search space into N disjoint slices
 (:class:`~repro.synthesis.search.SearchShard`) raced on the same pool —
@@ -66,7 +73,7 @@ import os
 import threading
 import time
 import warnings
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from typing import (
     Any,
@@ -87,11 +94,14 @@ from repro.errors import (
     SynthesisTimeout,
     UpdateInfeasibleError,
 )
+from repro.net.delta import ProblemPatch
 from repro.net.serialize import (
     Problem,
     plan_from_dict,
     problem_from_dict,
     problem_to_dict,
+    unit_order_from_wire,
+    unit_order_to_wire,
 )
 from repro.perf.fingerprint import scope_fingerprint
 from repro.perf.memo import MemoSnapshot, SharedVerdictMemo
@@ -113,6 +123,12 @@ _GroupKey = Tuple[str, Optional[float]]
 #: beyond this many known jobs, the oldest *delivered* settled results are
 #: evicted (a later lookup of an evicted id raises ``KeyError``).
 RESULT_RETENTION = 4096
+
+#: Base problems retained for delta resolution (:meth:`SynthesisService.
+#: submit_delta`), LRU by fingerprint.  A delta against an evicted base is
+#: a missing resource (``KeyError`` / HTTP 404), and clients that still
+#: hold the base problem fall back to a cold full submission.
+BASE_RETENTION = 1024
 
 
 def _execute_payload(
@@ -137,7 +153,10 @@ def _execute_payload(
     above one restrict this attempt to its
     :class:`~repro.synthesis.search.SearchShard` slice of the order space,
     and an exhausted slice reports ``infeasible_reason="shard"`` (not a
-    global proof — the engine combines the shards' verdicts).
+    global proof — the engine combines the shards' verdicts).  It may also
+    carry ``warm_order`` (a wire-form unit order, see
+    :func:`~repro.net.serialize.unit_order_to_wire`): the delta path's
+    base-plan hint, seeding the search which degrades to cold when stale.
     """
     from repro.net.serialize import plan_to_dict  # local: after fork/spawn
 
@@ -177,6 +196,9 @@ def _execute_payload(
             if shards > 1
             else None
         )
+        warm_order = options_data.get("warm_order")
+        if warm_order is not None:
+            warm_order = unit_order_from_wire(warm_order)
         plan = synth.synthesize(
             problem.init,
             problem.final,
@@ -184,6 +206,7 @@ def _execute_payload(
             problem.ingresses,
             timeout=options_data.get("timeout"),
             shard=shard,
+            warm_order=warm_order,
         )
     except UpdateInfeasibleError as err:
         return finish(
@@ -330,6 +353,13 @@ class SynthesisService:
         # (fingerprint, timeout) groups currently executing; submissions
         # matching one attach to it instead of queueing a second execution
         self._active: Dict[_GroupKey, List[SynthesisJob]] = {}
+        # delta support: every submitted problem is retained (LRU, bounded
+        # by BASE_RETENTION) under its job fingerprint so a later
+        # submit_delta can resolve a patch against it without the client
+        # resending the problem
+        self._bases: "OrderedDict[str, Tuple[Problem, SynthesisOptions]]" = (
+            OrderedDict()
+        )
         self._thread: Optional[threading.Thread] = None
         # explicit start() makes the scheduler resident (server mode);
         # consumer-auto-started threads exit once the queue runs dry, so a
@@ -420,6 +450,7 @@ class SynthesisService:
         options: Optional[SynthesisOptions] = None,
         job_id: Optional[str] = None,
         timeout: Optional[float] = None,
+        warm_order: Optional[Sequence[Any]] = None,
     ) -> SynthesisJob:
         """Register one problem with the scheduler; returns the job handle.
 
@@ -433,6 +464,12 @@ class SynthesisService:
         against a warm server answers from the plan cache), while re-using
         the id of a still-open job raises
         :class:`~repro.errors.ReproError`.
+
+        ``warm_order`` seeds the search with a previous plan's unit order
+        (the delta path passes the base plan's); it does not change the
+        job's identity — warm start is verdict-preserving.  The submitted
+        problem is also retained (LRU) as a possible *base* for later
+        :meth:`submit_delta` calls against its fingerprint.
         """
         opts = options or self.default_options
         if timeout is not None:
@@ -441,11 +478,16 @@ class SynthesisService:
             job_id=job_id or f"job-{next(self._ids)}",
             problem=problem,
             options=opts,
+            warm_order=tuple(warm_order) if warm_order is not None else None,
         )
         fingerprint = job.fingerprint  # content hash, computed outside the lock
         with self._cv:
             if self._closed:
                 raise ReproError("service is closed")
+            self._bases[fingerprint] = (problem, opts)
+            self._bases.move_to_end(fingerprint)
+            while len(self._bases) > BASE_RETENTION:
+                self._bases.popitem(last=False)
             if job.job_id in self._jobs:
                 if job.job_id not in self._results:
                     raise ReproError(
@@ -470,6 +512,61 @@ class SynthesisService:
         self, problems: Iterable[Problem], **kwargs: Any
     ) -> List[SynthesisJob]:
         return [self.submit(problem, **kwargs) for problem in problems]
+
+    def submit_delta(
+        self,
+        base: str,
+        patch: ProblemPatch,
+        *,
+        options: Optional[SynthesisOptions] = None,
+        job_id: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> SynthesisJob:
+        """Register an *edit* of a retained base problem (a delta).
+
+        ``base`` is the fingerprint of a previously submitted job; the
+        patch is resolved against the retained base incrementally
+        (:meth:`~repro.net.delta.ProblemPatch.apply_to` — structural
+        sharing keeps the content-hash and label caches warm) and, when
+        the base's plan is still in the plan cache, its unit order
+        warm-starts the new search.  The resolved job is an ordinary
+        submission: it coalesces, caches, and is itself retained as a
+        base, so a churn stream can chain deltas indefinitely.
+
+        Raises ``KeyError`` when the base fingerprint is unknown or has
+        been evicted (HTTP 404 at the server — *not* a parse error;
+        clients holding the base problem fall back to a cold submission),
+        and :class:`~repro.errors.ParseError` when the patch does not
+        apply to the base.  When ``options`` is ``None`` the delta
+        inherits the retained base's options, keeping granularity and
+        checker aligned with the plan whose order seeds the search.
+        """
+        with self._cv:
+            entry = self._bases.get(base)
+            if entry is not None:
+                self._bases.move_to_end(base)
+        if entry is None:
+            raise KeyError(f"unknown base fingerprint {base!r}")
+        base_problem, base_options = entry
+        problem = patch.apply_to(base_problem)
+        warm_order: Optional[Tuple[Any, ...]] = None
+        base_plan = self.cache.get(
+            base, {tc.name: tc for tc in base_problem.classes}
+        )
+        if base_plan is not None:
+            warm_order = tuple(base_plan.unit_order())
+        return self.submit(
+            problem,
+            options=options or base_options,
+            job_id=job_id,
+            timeout=timeout,
+            warm_order=warm_order,
+        )
+
+    def has_base(self, fingerprint: str) -> bool:
+        """Whether a delta against ``fingerprint`` would currently resolve."""
+        with self._cv:
+            return fingerprint in self._bases
 
     # ------------------------------------------------------------------
     # retrieval
@@ -804,6 +901,15 @@ class SynthesisService:
             else:
                 key = (job.fingerprint, job.options.timeout)
                 groups.setdefault(key, []).append(job)
+        for group in groups.values():
+            # the group executes with group[0]'s payloads: adopt the first
+            # warm hint any coalesced sibling brought (they are the same
+            # problem, so any base plan's order is an equally valid seed)
+            if group[0].warm_order is None:
+                group[0].warm_order = next(
+                    (j.warm_order for j in group if j.warm_order is not None),
+                    None,
+                )
         with self._cv:
             for job, plan in hits:
                 job.status = JobStatus.DONE
@@ -895,6 +1001,11 @@ class SynthesisService:
         """
         problem_data = problem_to_dict(job.problem)
         shards = max(1, job.options.shards) if sharded else 1
+        warm_wire = (
+            unit_order_to_wire(job.warm_order)
+            if job.warm_order is not None
+            else None
+        )
         payloads = []
         for backend in job.options.backends():
             for index in range(shards):
@@ -905,6 +1016,8 @@ class SynthesisService:
                     shards=shards,
                     shard_index=index,
                 )
+                if warm_wire is not None:
+                    options_data["warm_order"] = warm_wire
                 payloads.append((backend, problem_data, options_data))
         return payloads
 

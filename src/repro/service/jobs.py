@@ -99,12 +99,20 @@ class SynthesisOptions:
 
 @dataclass
 class SynthesisJob:
-    """One unit of work queued on the service."""
+    """One unit of work queued on the service.
+
+    ``warm_order`` is the delta path's hint: a previous plan's unit order
+    (:meth:`~repro.synthesis.plan.UpdatePlan.unit_order`) to seed the
+    search with.  It is *not* part of the fingerprint — a warm and a cold
+    submission of the same problem are the same job (warm start is
+    verdict-preserving), so they coalesce and share the plan cache.
+    """
 
     job_id: str
     problem: Problem
     options: SynthesisOptions = field(default_factory=SynthesisOptions)
     status: JobStatus = JobStatus.QUEUED
+    warm_order: Optional[Tuple[Any, ...]] = field(default=None, repr=False)
     _fingerprint: Optional[str] = field(default=None, repr=False)
 
     @property

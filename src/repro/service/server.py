@@ -12,7 +12,11 @@ Endpoints (see ``docs/ARCHITECTURE.md`` for the full table):
 
 ========================  ====================================================
 ``POST /v1/jobs``         submit one request document, or ``{"jobs": [...]}``
-                          for a batch; returns ``202`` with the job views
+                          for a batch; returns ``202`` with the job views.
+                          Entries carrying ``"base"`` are *delta* documents
+                          (:class:`~repro.api.SynthesisDelta`): a patch
+                          against a retained base problem, resolved and
+                          warm-started server-side
 ``GET /v1/jobs``          list every remembered job; ``?wait=SECONDS`` blocks
                           until the service drains (or the deadline passes)
 ``GET /v1/jobs/{id}``     one job: its result document once settled, its
@@ -50,8 +54,10 @@ from repro.api import (
     JobView,
     LeaseCompletion,
     LeaseRequest,
+    SynthesisDelta,
     SynthesisRequest,
     SynthesisResponse,
+    is_delta_document,
 )
 from repro.errors import ParseError, ReproError
 from repro.service.engine import SynthesisService
@@ -294,31 +300,60 @@ class _Handler(BaseHTTPRequestHandler):
             entries = [data]
         # parse the whole batch before submitting anything, so a malformed
         # later entry cannot leave earlier entries half-submitted; sparse
-        # request options merge onto this server's defaults
+        # request options merge onto this server's defaults.  Entries with
+        # a "base" key are delta documents, resolved against retained bases
         requests = [
-            SynthesisRequest.from_dict(
+            SynthesisDelta.from_dict(
+                entry, option_defaults=self.service.default_options
+            )
+            if is_delta_document(entry)
+            else SynthesisRequest.from_dict(
                 entry, option_defaults=self.service.default_options
             )
             for entry in entries
         ]
-        views = []
+        views: List[Dict[str, Any]] = []
+
+        def _partial(message: str) -> str:
+            accepted = [view["id"] for view in views]
+            return message + (f" (already accepted: {accepted})" if accepted else "")
+
         for request in requests:
             try:
-                job = self.service.submit(
-                    request.problem,
-                    options=request.options,
-                    job_id=request.job_id,
-                )
+                if isinstance(request, SynthesisDelta):
+                    job = self.service.submit_delta(
+                        request.base,
+                        request.patch,
+                        options=request.options,
+                        job_id=request.job_id,
+                    )
+                else:
+                    job = self.service.submit(
+                        request.problem,
+                        options=request.options,
+                        job_id=request.job_id,
+                    )
+            except KeyError as err:
+                # the delta's base is not retained here — a missing
+                # resource, not a malformed document: clients that still
+                # hold the base problem fall back to a cold submission
+                missing = str(err.args[0]) if err.args else str(err)
+                raise _ApiError(
+                    404, ErrorEnvelope.not_found(_partial(missing))
+                ) from err
+            except ParseError as err:
+                # the patch parsed but does not apply to its base
+                raise _ApiError(
+                    400,
+                    ErrorEnvelope.from_exception(ParseError(_partial(str(err)))),
+                ) from err
             except ReproError as err:
                 # a duplicate open id is the client's conflict, not a
                 # server failure; name the entries already accepted so the
                 # caller can retrieve or cancel them
-                accepted = [view["id"] for view in views]
-                message = str(err)
-                if accepted:
-                    message += f" (already accepted: {accepted})"
                 raise _ApiError(
-                    409, ErrorEnvelope.from_exception(ReproError(message))
+                    409,
+                    ErrorEnvelope.from_exception(ReproError(_partial(str(err)))),
                 ) from err
             views.append(JobView.from_job(job).to_dict())
         self._send_json(202, {"api": API_VERSION, "jobs": views})

@@ -10,7 +10,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.net.commands import Command, Wait, count_waits, updates_of
+from repro.net.commands import (
+    Command,
+    RuleGranUpdate,
+    SwitchUpdate,
+    Wait,
+    count_waits,
+    updates_of,
+)
 
 
 @dataclass
@@ -36,6 +43,11 @@ class SearchStats:
     # intra-job search sharding: how many shards raced for this plan
     # (0 = unsharded; set from SearchShard.total by the search)
     shards: int = 0
+    # delta warm start (repro.net.delta): length of the base plan's unit
+    # order the search was seeded with, and how many candidate frames it
+    # actually steered before the path left the warm prefix
+    warm_units: int = 0
+    warm_hits: int = 0
     # per-phase wall time, attributed by the search loop and reported by
     # the `repro profile` harness
     labeling_seconds: float = 0.0
@@ -53,6 +65,8 @@ class SearchStats:
         self.memo_hits += other.memo_hits
         self.memo_pruned += other.memo_pruned
         self.shards = max(self.shards, other.shards)
+        self.warm_units = max(self.warm_units, other.warm_units)
+        self.warm_hits += other.warm_hits
         self.labeling_seconds += other.labeling_seconds
         self.sat_seconds += other.sat_seconds
         self.memo_seconds += other.memo_seconds
@@ -79,6 +93,23 @@ class UpdatePlan:
 
     def num_waits(self) -> int:
         return count_waits(self.commands)
+
+    def unit_order(self) -> List:
+        """The search-unit order this plan realizes.
+
+        Switch-granularity updates yield the switch id, rule-granularity
+        updates a ``(switch, class_name)`` pair — exactly the unit
+        vocabulary of :func:`repro.synthesis.search.order_update`, so a
+        plan's order can warm-start a follow-up search on a patched
+        problem (``warm_order=``).
+        """
+        order: List = []
+        for command in self.updates():
+            if isinstance(command, SwitchUpdate):
+                order.append(command.switch)
+            elif isinstance(command, RuleGranUpdate):
+                order.append((command.switch, command.tc.name))
+        return order
 
     def __len__(self) -> int:
         return len(self.commands)

@@ -156,6 +156,7 @@ def order_update(
     timeout: Optional[float] = None,
     memo: Optional[VerdictMemo] = None,
     shard: Optional[SearchShard] = None,
+    warm_order: Optional[Sequence[Unit]] = None,
 ) -> UpdatePlan:
     """Synthesize a careful update sequence from ``init`` to ``final``.
 
@@ -174,6 +175,17 @@ def order_update(
     slice raises :class:`UpdateInfeasibleError` with ``reason="shard"`` —
     *not* a global infeasibility proof; endpoint violations and SAT early
     termination keep their global reasons.
+
+    ``warm_order`` warm-starts the search from a previous plan's unit order
+    (see :meth:`~repro.synthesis.plan.UpdatePlan.unit_order`): while the
+    DFS path still follows the warm prefix, the base plan's next unit is
+    tried first in each candidate frame.  Units the current problem does
+    not update are skipped, and the moment the path deviates — the hinted
+    unit is refuted, pruned, or absent — the ordinary heuristic order takes
+    over with all learned state intact, so a stale hint degrades to a cold
+    search rather than failing.  Warm starting only changes the order
+    candidates are *tried* in; every accepted sequence is still verified
+    step by step, so the plan is correct regardless of the hint's quality.
     """
     start = time.monotonic()
     stats = SearchStats()
@@ -195,6 +207,19 @@ def order_update(
     )
     if shard is not None:
         stats.shards = shard.total
+
+    # warm start: the base plan's order, restricted to units this problem
+    # actually updates (a patch may have added or removed some)
+    warm_units: List[Unit] = []
+    if warm_order:
+        seen_warm: Set[Unit] = set()
+        for warm_unit in warm_order:
+            if isinstance(warm_unit, list):  # wire form of a rule-gran unit
+                warm_unit = tuple(warm_unit)
+            if warm_unit in all_units and warm_unit not in seen_warm:
+                warm_units.append(warm_unit)
+                seen_warm.add(warm_unit)
+        stats.warm_units = len(warm_units)
 
     # one labeling engine for both endpoint checks and the whole search:
     # engines are structure-independent and carry the atom/mask memos
@@ -372,6 +397,24 @@ def order_update(
 
         return sorted(remaining, key=sort_key)
 
+    def prefer_warm(frame: List[Unit]) -> List[Unit]:
+        """Front-load the warm hint while the path still follows it.
+
+        The frame for depth ``d`` is built right after the ``d``-th unit is
+        accepted, so ``path`` is exactly the prefix the frame extends; once
+        the path has deviated from the warm order (or outrun it) the frame
+        is returned untouched and the heuristic order stands.
+        """
+        depth = len(path)
+        if depth >= len(warm_units) or path != warm_units[:depth]:
+            return frame
+        hint = warm_units[depth]
+        if hint in frame:
+            stats.warm_hits += 1
+            frame.remove(hint)
+            frame.insert(0, hint)
+        return frame
+
     def probe_memo():
         """Probe the memo for a refutation of the just-updated structure.
 
@@ -412,7 +455,7 @@ def order_update(
         # the shard owns only the orders starting inside its slice; the
         # heuristic ordering within the slice is preserved
         root = [u for u in root if u in shard_first]
-    stack: List[List[Unit]] = [root]
+    stack: List[List[Unit]] = [prefer_warm(root)]
     while stack:
         check_deadline()
         frame = stack[-1]
@@ -479,7 +522,7 @@ def order_update(
         if len(updated) == len(all_units):
             stats.synthesis_seconds = time.monotonic() - start
             return UpdatePlan(_build_commands(path, final, class_by_name, rule_gran), granularity, stats)
-        stack.append(candidates())
+        stack.append(prefer_warm(candidates()))
 
     stats.synthesis_seconds = time.monotonic() - start
     if shard is not None and shard.total > 1:

@@ -90,6 +90,7 @@ class UpdateSynthesizer:
         *,
         timeout: Optional[float] = None,
         shard: Optional[SearchShard] = None,
+        warm_order: Optional[Sequence] = None,
     ) -> UpdatePlan:
         """Synthesize a correct update plan, or raise
         :class:`~repro.errors.UpdateInfeasibleError` /
@@ -97,7 +98,11 @@ class UpdateSynthesizer:
 
         ``shard`` restricts the search to one slice of the order space (see
         :class:`~repro.synthesis.search.SearchShard`); the batch service
-        races the slices on its worker pool."""
+        races the slices on its worker pool.
+
+        ``warm_order`` seeds the search with a previous plan's unit order
+        (:meth:`~repro.synthesis.plan.UpdatePlan.unit_order`) — the delta
+        path's warm start; stale hints degrade to a cold search."""
         plan = order_update(
             self.topology,
             init,
@@ -112,6 +117,7 @@ class UpdateSynthesizer:
             timeout=timeout,
             memo=self._memo_for(spec, ingresses),
             shard=shard,
+            warm_order=warm_order,
         )
         if self.remove_waits:
             plan = remove_waits(self.topology, init, plan, ingresses)

@@ -98,11 +98,12 @@ class TestRoundTrips:
         jobs = _load_batch_jobs(str(path))
         assert len(jobs) == len(smoke_records)
         by_id = {r.scenario_id: r for r in smoke_records}
-        for job_id, timeout, granularity, problem in jobs:
-            record = by_id[job_id]
-            assert timeout is None
-            assert granularity == record.granularity
-            assert problem_to_dict(problem) == problem_to_dict(record.problem)
+        for job in jobs:
+            record = by_id[job.job_id]
+            assert job.timeout is None
+            assert job.granularity == record.granularity
+            assert job.patch is None
+            assert problem_to_dict(job.problem) == problem_to_dict(record.problem)
 
     def test_jsonl_lines_carry_meta(self, smoke_records):
         for line in corpus_to_jsonl(smoke_records).splitlines():

@@ -30,7 +30,7 @@ import platform
 import time
 from typing import Any, Dict, List, Optional
 
-from repro.bench.runner import BENCH_SCHEMA, SPEEDUP_FLOOR_SECONDS
+from repro.bench.runner import BENCH_SCHEMA, SPEEDUP_FLOOR_SECONDS, collect_meta
 from repro.scenarios.churn import generate_churn
 from repro.scenarios.corpus import corpus_summary
 from repro.service import SynthesisOptions, SynthesisService
@@ -142,6 +142,7 @@ def run_churn_suite(
         "workers": 0,
         "memoize": memoize,
         "shards": 1,
+        "meta": collect_meta(),
         "env": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),

@@ -17,8 +17,10 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import time
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ParseError, ReproError
@@ -34,6 +36,36 @@ MIN_COMPARE_SECONDS = 0.02
 #: timing-resolution floor for the (informational) median-speedup metric:
 #: scenarios where both runs are below it are excluded as signal-free
 SPEEDUP_FLOOR_SECONDS = 0.0005
+
+
+def collect_meta() -> Dict[str, Any]:
+    """Provenance stamped into every ``repro-bench/1`` document.
+
+    ``generated_at`` is UTC (ISO 8601, second resolution); ``git_sha`` is
+    the full HEAD commit of the working tree the run executed in (``None``
+    outside a git checkout); ``hostname`` identifies the machine, which
+    matters because cross-machine wall-clock comparisons measure hardware,
+    not code.  The observatory history layer
+    (:mod:`repro.observatory.history`) lifts these fields into each
+    trajectory line so ``repro report`` can label runs.
+    """
+    sha: Optional[str] = None
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if proc.returncode == 0:
+            sha = proc.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    return {
+        "generated_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git_sha": sha,
+        "hostname": platform.node(),
+    }
 
 
 def run_suite(
@@ -140,6 +172,7 @@ def run_suite(
         "workers": workers,
         "memoize": memoize,
         "shards": shards,
+        "meta": collect_meta(),
         "env": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),

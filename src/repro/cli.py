@@ -64,6 +64,21 @@ Subcommands:
   two-pass delta benchmark (:mod:`repro.bench.churn`): every churn trace
   replayed cold and as chained deltas, self-gated on the median delta
   speedup (exit 1 below target).
+  ``--history PATH`` additionally appends the finished run to a
+  ``repro-bench-history/1`` JSONL trajectory, so runs accumulate instead
+  of overwriting each other.
+* ``report HISTORY`` — read a bench history file and render trend tables
+  (per-scenario seconds, plan-cache/verdict-memo hit rates, per-family
+  scaling) plus a regression summary of the latest run against an anchor
+  run (``--anchor`` / ``--anchor-sha``); exits non-zero when the latest
+  run regressed past the noise floor.  ``--json`` emits the
+  ``repro-report/1`` document.
+* ``judge --suite NAME`` — replay a scenario suite across checker
+  backends (default: incremental, batch, netplumber, symbolic) and fail
+  (non-zero exit, scenario named) if any backends disagree on the verdict
+  or the normalized plan; also flags portfolio-race picks that were
+  measurably slower than a losing backend.  ``--json`` emits the
+  ``repro-judge/1`` document.
 * ``profile --suite NAME`` — run a suite in-process and write a
   schema-versioned ``PROFILE_<suite>.json`` attributing wall time to
   phases (labeling, SAT ordering, wait removal, memo probes).
@@ -829,6 +844,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         out_path = args.out or "BENCH_churn.json"
         write_bench(document, out_path)
+        _append_bench_history(args, document)
         if args.json:
             json.dump(document, sys.stdout, indent=2, sort_keys=True)
             sys.stdout.write("\n")
@@ -848,6 +864,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     out_path = args.out or f"BENCH_{args.suite}.json"
     write_bench(document, out_path)
+    _append_bench_history(args, document)
     if args.json:
         json.dump(document, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
@@ -857,6 +874,71 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if document["totals"]["statuses"].get("error"):
         return EXIT_FAILURE
     return EXIT_OK
+
+
+def _append_bench_history(args: argparse.Namespace, document) -> None:
+    """Record a completed bench run in the observatory trajectory file."""
+    if not args.history:
+        return
+    from repro.observatory import append_history
+
+    append_history(document, args.history)
+    print(f"appended to history {args.history}", file=sys.stderr)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.observatory import build_report, format_report, load_history
+
+    entries = load_history(args.history, suite=args.suite)
+    document = build_report(
+        entries,
+        anchor=args.anchor,
+        anchor_sha=args.anchor_sha,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(format_report(document))
+        if args.out:
+            print(f"wrote {args.out}", file=sys.stderr)
+    return EXIT_OK if document["ok"] else EXIT_FAILURE
+
+
+def _cmd_judge(args: argparse.Namespace) -> int:
+    from repro.observatory import (
+        DEFAULT_BACKENDS,
+        format_judge_summary,
+        run_judge,
+    )
+
+    document = run_judge(
+        args.suite,
+        quick=args.quick,
+        base_seed=args.seed,
+        backends=args.backends or DEFAULT_BACKENDS,
+        timeout=args.timeout,
+        max_scenarios=args.max_scenarios,
+        race=not args.no_race,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(format_judge_summary(document))
+        if args.out:
+            print(f"wrote {args.out}", file=sys.stderr)
+    return EXIT_OK if document["totals"]["ok"] else EXIT_FAILURE
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -1148,7 +1230,66 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default 1; needs --workers >= 2)")
     p_bench.add_argument("--json", action="store_true",
                          help="emit the document/comparison as JSON to stdout")
+    p_bench.add_argument("--history", default=None, metavar="PATH",
+                         help="append this run to a repro-bench-history/1 "
+                              "JSONL trajectory (read by `repro report`)")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render trend tables + a regression summary from a bench history",
+    )
+    p_report.add_argument("history",
+                          help="path to a repro-bench-history/1 JSONL file "
+                               "(grow one with `repro bench --history`)")
+    p_report.add_argument("--suite", default=None,
+                          help="report only this suite's runs (a shared "
+                               "history file may interleave several)")
+    p_report.add_argument("--anchor", type=int, default=0,
+                          help="index of the run to compare the latest run "
+                               "against (default 0: the oldest; negative "
+                               "counts from the end)")
+    p_report.add_argument("--anchor-sha", default=None, metavar="SHA",
+                          help="anchor on the most recent run of this git "
+                               "commit (prefix match) instead of an index")
+    p_report.add_argument("--threshold", type=float, default=2.0,
+                          help="regression factor vs the anchor (default 2.0)")
+    p_report.add_argument("--min-seconds", type=float, default=0.02,
+                          help="noise floor for timing comparisons (default 0.02)")
+    p_report.add_argument("--out", "-o", default=None,
+                          help="also write the repro-report/1 document here")
+    p_report.add_argument("--json", action="store_true",
+                          help="emit the repro-report/1 document to stdout")
+    p_report.set_defaults(fn=_cmd_report)
+
+    p_judge = sub.add_parser(
+        "judge",
+        help="replay a suite across checker backends and fail on disagreement",
+    )
+    p_judge.add_argument("--suite", required=True,
+                         help="scenario suite to judge (smoke, full, zoo, churn)")
+    p_judge.add_argument("--quick", action="store_true",
+                         help="use the suite's scaled-down CI sizes")
+    p_judge.add_argument("--seed", type=int, default=0,
+                         help="base seed for scenario generation (default 0)")
+    p_judge.add_argument("--backends", default=None, metavar="B1,B2",
+                         type=_portfolio_arg,
+                         help="backends to cross-examine (default "
+                              "incremental,batch,netplumber,symbolic)")
+    p_judge.add_argument("--timeout", type=float, default=60.0,
+                         help="per-scenario-per-backend budget in seconds "
+                              "(default 60)")
+    p_judge.add_argument("--max-scenarios", type=int, default=None, metavar="N",
+                         help="judge a deterministic N-scenario subsample "
+                              "of the suite")
+    p_judge.add_argument("--no-race", action="store_true",
+                         help="skip the portfolio-race pass (solo agreement "
+                              "checks only)")
+    p_judge.add_argument("--out", "-o", default=None,
+                         help="also write the repro-judge/1 document here")
+    p_judge.add_argument("--json", action="store_true",
+                         help="emit the repro-judge/1 document to stdout")
+    p_judge.set_defaults(fn=_cmd_judge)
 
     p_profile = sub.add_parser(
         "profile", help="attribute a suite's wall time to synthesis phases"

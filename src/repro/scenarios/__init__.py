@@ -22,6 +22,7 @@ from repro.scenarios.corpus import (
     corpus_summary,
     corpus_to_jsonl,
     generate_corpus,
+    sample_records,
     write_corpus,
 )
 from repro.scenarios.suites import SUITES, FamilyBlock, Suite, get_suite
@@ -36,6 +37,7 @@ __all__ = [
     "corpus_summary",
     "corpus_to_jsonl",
     "generate_corpus",
+    "sample_records",
     "write_corpus",
     "SUITES",
     "FamilyBlock",

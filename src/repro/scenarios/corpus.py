@@ -19,6 +19,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.errors import ReproError
 from repro.ltl.parser import parse
 from repro.net.delta import ProblemPatch
 from repro.net.failures import fail_link, links_used
@@ -308,6 +309,25 @@ def generate_corpus(
                     if record is not None:
                         records.append(record)
     return records
+
+
+def sample_records(
+    records: List[ScenarioRecord], limit: Optional[int]
+) -> List[ScenarioRecord]:
+    """A deterministic, diversity-preserving subsample of ``limit`` records.
+
+    Records are ordered by scenario id and picked at an even stride, so a
+    small sample still spans the suite's families and templates instead of
+    exhausting one family block first.  ``limit`` of ``None`` (or anything
+    at least the corpus size) returns every record; the result order is
+    id-sorted either way, so callers get a stable replay order.
+    """
+    ordered = sorted(records, key=lambda record: record.scenario_id)
+    if limit is None or limit >= len(ordered):
+        return ordered
+    if limit <= 0:
+        raise ReproError(f"sample limit must be positive, got {limit}")
+    return [ordered[(index * len(ordered)) // limit] for index in range(limit)]
 
 
 def corpus_summary(records: List[ScenarioRecord]) -> Dict[str, Any]:

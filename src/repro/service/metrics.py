@@ -39,6 +39,9 @@ class ServiceMetrics:
     submitted: int = 0
     completed: int = 0
     by_status: Dict[str, int] = field(default_factory=dict)
+    #: verdicts per checker backend — in portfolio mode these are the race
+    #: *win* counters the differential judge (``repro judge``) audits
+    by_backend: Dict[str, int] = field(default_factory=dict)
     cache_hits: int = 0
     coalesced: int = 0
     wall_seconds: float = 0.0
@@ -56,6 +59,10 @@ class ServiceMetrics:
         self.by_status[result.status.value] = (
             self.by_status.get(result.status.value, 0) + 1
         )
+        if result.backend:
+            self.by_backend[result.backend] = (
+                self.by_backend.get(result.backend, 0) + 1
+            )
         if result.cached:
             self.cache_hits += 1
         self.busy_seconds += result.seconds
@@ -113,6 +120,7 @@ class ServiceMetrics:
             "submitted": self.submitted,
             "completed": self.completed,
             "by_status": dict(sorted(self.by_status.items())),
+            "by_backend": dict(sorted(self.by_backend.items())),
             "cache_hits": self.cache_hits,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "coalesced": self.coalesced,

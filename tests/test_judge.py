@@ -1,0 +1,255 @@
+"""Tests for ``repro judge``: cross-backend consensus, injected liars, CLI.
+
+``_execute_one`` is module-level in :mod:`repro.observatory.judge` exactly
+so these tests can monkeypatch it and inject a backend that answers
+wrong — the acceptance criterion for the judge is that such a dissenter
+is detected, named, and turned into a non-zero exit.
+"""
+
+import json
+
+import pytest
+
+import repro.observatory.judge as judge_mod
+from repro.cli import main
+from repro.errors import ReproError
+from repro.observatory import DEFAULT_BACKENDS, JUDGE_SCHEMA, run_judge
+from repro.observatory.judge import _judge_agreement, _judge_race
+from repro.scenarios import generate_corpus, sample_records
+
+_real_execute_one = judge_mod._execute_one
+
+BACKENDS = "incremental,batch"
+
+
+def _lying_execute_one(record, backend, *, timeout):
+    """The ``batch`` backend claims everything is infeasible."""
+    if backend == "batch":
+        return {"status": "infeasible", "seconds": 0.001, "reason": "injected lie"}
+    return _real_execute_one(record, backend, timeout=timeout)
+
+
+class TestAgreement:
+    def test_honest_backends_agree(self):
+        document = run_judge(
+            "smoke",
+            quick=True,
+            backends=("incremental", "batch"),
+            max_scenarios=6,
+            race=False,
+        )
+        assert document["schema"] == JUDGE_SCHEMA
+        assert document["totals"]["ok"] is True
+        assert document["totals"]["disagreements"] == []
+        assert document["totals"]["scenarios"] == 6
+        assert set(document["by_backend"]) == {"incremental", "batch"}
+        assert document["meta"]["generated_at"].endswith("Z")
+        for row in document["scenarios"]:
+            assert set(row["backends"]) == {"incremental", "batch"}
+            assert row["disagreements"] == []
+            assert row["race"] is None  # race=False
+
+    def test_race_pass_reports_service_wins(self):
+        document = run_judge(
+            "smoke",
+            quick=True,
+            backends=("incremental", "batch"),
+            max_scenarios=4,
+            race=True,
+        )
+        assert document["totals"]["ok"] is True
+        race_service = document["race_service"]
+        assert sum(race_service["by_backend"].values()) == 4
+        assert set(race_service["by_backend"]) <= {"incremental", "batch"}
+
+    def test_unsupported_backend_excluded_from_consensus(self, monkeypatch):
+        def partial(record, backend, *, timeout):
+            if backend == "batch":
+                return {
+                    "status": "unsupported",
+                    "seconds": 0.0,
+                    "message": "cannot express this spec",
+                }
+            return _real_execute_one(record, backend, timeout=timeout)
+
+        monkeypatch.setattr(judge_mod, "_execute_one", partial)
+        document = run_judge(
+            "smoke",
+            quick=True,
+            backends=("incremental", "batch"),
+            max_scenarios=3,
+            race=False,
+        )
+        # a capability gap is reported, never failed
+        assert document["totals"]["ok"] is True
+        assert document["totals"]["unsupported"] == {"batch": 3}
+
+    def test_lying_backend_caught(self, monkeypatch):
+        monkeypatch.setattr(judge_mod, "_execute_one", _lying_execute_one)
+        document = run_judge(
+            "smoke",
+            quick=True,
+            backends=("incremental", "batch"),
+            max_scenarios=3,
+            race=False,
+        )
+        assert document["totals"]["ok"] is False
+        assert any(
+            "verdict split" in d for d in document["totals"]["disagreements"]
+        )
+
+    def test_fewer_than_two_backends_rejected(self):
+        with pytest.raises(ReproError, match="at least two backends"):
+            run_judge("smoke", quick=True, backends=("incremental",))
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ReproError):
+            run_judge("no-such-suite", backends=DEFAULT_BACKENDS)
+
+
+class TestJudgeAgreementUnit:
+    def test_consensus_is_silent(self):
+        plan = {"granularity": "switch", "commands": [["update", "s1"]]}
+        outcomes = {
+            "incremental": {"status": "done", "seconds": 0.1, "plan": plan},
+            "batch": {"status": "done", "seconds": 0.2, "plan": dict(plan)},
+        }
+        assert _judge_agreement("s", outcomes) == []
+
+    def test_verdict_split_names_every_vote(self):
+        outcomes = {
+            "incremental": {"status": "done", "seconds": 0.1, "plan": {}},
+            "symbolic": {"status": "infeasible", "seconds": 0.1},
+        }
+        (message,) = _judge_agreement("zoo/x/y", outcomes)
+        assert "zoo/x/y: verdict split" in message
+        assert "incremental=done" in message and "symbolic=infeasible" in message
+
+    def test_plan_mismatch_flagged(self):
+        outcomes = {
+            "incremental": {
+                "status": "done",
+                "seconds": 0.1,
+                "plan": {"granularity": "switch", "commands": [["update", "s1"]]},
+            },
+            "batch": {
+                "status": "done",
+                "seconds": 0.1,
+                "plan": {"granularity": "switch", "commands": [["update", "s2"]]},
+            },
+        }
+        (message,) = _judge_agreement("s", outcomes)
+        assert "normalized plan differs" in message
+
+    def test_shared_error_status_is_reported(self):
+        outcomes = {
+            "incremental": {"status": "error", "seconds": 0.0, "message": "boom"},
+            "batch": {"status": "error", "seconds": 0.0, "message": "boom"},
+        }
+        messages = _judge_agreement("s", outcomes)
+        assert len(messages) == 2
+        assert all("errored" in m for m in messages)
+
+    def test_unsupported_lone_voter_is_consensus(self):
+        outcomes = {
+            "netplumber": {"status": "unsupported", "seconds": 0.0, "message": "-"},
+            "batch": {"status": "done", "seconds": 0.1, "plan": {}},
+        }
+        assert _judge_agreement("s", outcomes) == []
+
+
+class TestJudgeRaceUnit:
+    OUTCOMES = {
+        "incremental": {"status": "done", "seconds": 0.01},
+        "symbolic": {"status": "done", "seconds": 0.50},
+    }
+
+    def test_slow_winner_is_flagged(self):
+        pick = {"status": "done", "winner": "symbolic", "seconds": 0.4}
+        verdict = _judge_race("s", pick, self.OUTCOMES)
+        assert verdict["flagged"] is True
+        assert verdict["best_backend"] == "incremental"
+
+    def test_best_winner_is_not_flagged(self):
+        pick = {"status": "done", "winner": "incremental", "seconds": 0.02}
+        assert _judge_race("s", pick, self.OUTCOMES)["flagged"] is False
+
+    def test_noise_guards(self):
+        # beyond the ratio but under the absolute gap: not flagged
+        outcomes = {
+            "incremental": {"status": "done", "seconds": 0.010},
+            "symbolic": {"status": "done", "seconds": 0.040},
+        }
+        pick = {"status": "done", "winner": "symbolic", "seconds": 0.04}
+        assert _judge_race("s", pick, outcomes)["flagged"] is False
+        # beyond the gap but under the ratio: not flagged either
+        outcomes = {
+            "incremental": {"status": "done", "seconds": 1.00},
+            "symbolic": {"status": "done", "seconds": 1.20},
+        }
+        pick = {"status": "done", "winner": "symbolic", "seconds": 1.2}
+        assert _judge_race("s", pick, outcomes)["flagged"] is False
+
+    def test_unjudgeable_picks_return_none(self):
+        assert _judge_race("s", None, self.OUTCOMES) is None
+        assert (
+            _judge_race("s", {"status": "done", "winner": None}, self.OUTCOMES)
+            is None
+        )
+        # the winner's solo verdict differs from the race's: timings not
+        # comparable, so no judgement
+        mixed = {
+            "incremental": {"status": "done", "seconds": 0.01},
+            "symbolic": {"status": "timeout", "seconds": 60.0},
+        }
+        pick = {"status": "done", "winner": "symbolic", "seconds": 0.1}
+        assert _judge_race("s", pick, mixed) is None
+
+
+class TestCli:
+    def test_honest_judge_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "JUDGE.json"
+        code = main(
+            ["judge", "--suite", "smoke", "--quick",
+             "--backends", BACKENDS, "--max-scenarios", "4",
+             "--no-race", "--out", str(out)]
+        )
+        assert code == 0
+        assert "OK: all backends agree" in capsys.readouterr().out
+        document = json.loads(out.read_text())
+        assert document["schema"] == JUDGE_SCHEMA
+        assert document["totals"]["ok"] is True
+
+    def test_injected_disagreement_exits_nonzero_and_names_scenario(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(judge_mod, "_execute_one", _lying_execute_one)
+        code = main(
+            ["judge", "--suite", "smoke", "--quick",
+             "--backends", BACKENDS, "--max-scenarios", "3", "--no-race"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DISAGREED" in out
+        assert "verdict split" in out
+        # the dissenting scenario is named, verbatim, in the summary
+        sampled = sample_records(generate_corpus("smoke", quick=True), 3)
+        assert any(record.scenario_id in out for record in sampled)
+
+    def test_judge_json_output(self, capsys):
+        code = main(
+            ["judge", "--suite", "smoke", "--quick",
+             "--backends", BACKENDS, "--max-scenarios", "2",
+             "--no-race", "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == JUDGE_SCHEMA
+        assert document["backends"] == ["incremental", "batch"]
+
+    def test_single_backend_rejected(self, capsys):
+        code = main(
+            ["judge", "--suite", "smoke", "--quick", "--backends", "incremental"]
+        )
+        assert code == 1
+        assert "at least two backends" in capsys.readouterr().err

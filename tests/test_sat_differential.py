@@ -1,0 +1,181 @@
+"""Randomized differential test: CDCL solver vs brute-force enumeration.
+
+Small random CNFs (≤8 variables, so ≤256 assignments) are decided both by
+:class:`repro.sat.solver.SatSolver` and by exhaustive enumeration; every
+divergence is a solver soundness bug.  The instances are generated from
+explicit seeds — a failure reproduces from the seed in the assertion
+message, never from a lost RNG state.
+
+Covers the incremental surface too: clauses added *between* ``solve()``
+calls (learned clauses and saved phases from earlier calls must not leak
+wrong answers into later ones) and assumption solving, where an
+UNSAT-under-assumptions answer must ship a valid core — a subset of the
+assumptions that brute-force confirms is jointly inconsistent with the
+formula.
+"""
+
+import itertools
+import random
+from typing import Dict, List, Sequence
+
+from repro.sat.solver import SatSolver
+
+MAX_VARS = 8
+
+
+def _random_cnf(rng: random.Random, *, num_vars: int, num_clauses: int):
+    """A random CNF: clause width 1-3, no tautological clauses."""
+    clauses: List[List[int]] = []
+    while len(clauses) < num_clauses:
+        width = rng.randint(1, 3)
+        variables = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        clause = [var if rng.random() < 0.5 else -var for var in variables]
+        clauses.append(clause)
+    return clauses
+
+
+def _brute_force_sat(
+    clauses: Sequence[Sequence[int]], num_vars: int
+) -> bool:
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {var: bits[var - 1] for var in range(1, num_vars + 1)}
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def _model_satisfies(
+    clauses: Sequence[Sequence[int]], model: Dict[int, bool]
+) -> bool:
+    return all(
+        any(model.get(abs(lit), False) == (lit > 0) for lit in clause)
+        for clause in clauses
+    )
+
+
+class TestDifferentialSolve:
+    def test_verdicts_match_brute_force(self):
+        for seed in range(200):
+            rng = random.Random(seed)
+            num_vars = rng.randint(2, MAX_VARS)
+            # ~4.3 clauses/var straddles the random-3-SAT phase transition,
+            # so both verdicts appear often
+            num_clauses = rng.randint(1, num_vars * 5)
+            clauses = _random_cnf(rng, num_vars=num_vars, num_clauses=num_clauses)
+            expected = _brute_force_sat(clauses, num_vars)
+
+            solver = SatSolver()
+            trivially_sat = True
+            for clause in clauses:
+                trivially_sat = solver.add_clause(clause) and trivially_sat
+            verdict = solver.solve()
+            assert verdict == expected, (seed, clauses)
+            if not trivially_sat:
+                assert not expected, (seed, clauses)
+            if verdict:
+                assert _model_satisfies(clauses, solver.model()), (
+                    seed,
+                    clauses,
+                    solver.model(),
+                )
+
+    def test_incremental_clause_adds_between_solves(self):
+        """One long-lived solver vs a fresh solver + brute force per prefix."""
+        for seed in range(60):
+            rng = random.Random(1000 + seed)
+            num_vars = rng.randint(3, MAX_VARS)
+            clauses = _random_cnf(
+                rng, num_vars=num_vars, num_clauses=num_vars * 5
+            )
+            incremental = SatSolver()
+            prefix: List[List[int]] = []
+            position = 0
+            while position < len(clauses):
+                chunk = clauses[position : position + rng.randint(1, 4)]
+                position += len(chunk)
+                prefix.extend(chunk)
+                for clause in chunk:
+                    incremental.add_clause(clause)
+                expected = _brute_force_sat(prefix, num_vars)
+                assert incremental.solve() == expected, (seed, prefix)
+
+                fresh = SatSolver()
+                for clause in prefix:
+                    fresh.add_clause(clause)
+                assert fresh.solve() == expected, (seed, prefix)
+                if not expected:
+                    break  # adding clauses can never revive an UNSAT formula
+
+    def test_unsat_stays_unsat_after_more_clauses(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert not solver.solve()
+        solver.add_clause([2, 3])
+        assert not solver.solve()
+
+
+class TestDifferentialAssumptions:
+    def test_assumption_verdicts_and_cores(self):
+        cores_checked = 0
+        for seed in range(200):
+            rng = random.Random(2000 + seed)
+            num_vars = rng.randint(2, MAX_VARS)
+            clauses = _random_cnf(
+                rng, num_vars=num_vars, num_clauses=num_vars * 3
+            )
+            assumed_vars = rng.sample(
+                range(1, num_vars + 1), rng.randint(1, num_vars)
+            )
+            assumptions = [
+                var if rng.random() < 0.5 else -var for var in assumed_vars
+            ]
+            # assumptions are exactly extra unit clauses, semantically
+            expected = _brute_force_sat(
+                list(clauses) + [[lit] for lit in assumptions], num_vars
+            )
+
+            solver = SatSolver()
+            for clause in clauses:
+                solver.add_clause(clause)
+            verdict = solver.solve(assumptions)
+            assert verdict == expected, (seed, clauses, assumptions)
+
+            if verdict:
+                model = solver.model()
+                assert _model_satisfies(clauses, model), (seed, clauses)
+                for lit in assumptions:
+                    assert model.get(abs(lit)) == (lit > 0), (seed, assumptions)
+            else:
+                core = solver.last_core  # before solve() resets it
+                if not solver.solve():
+                    continue  # the formula alone is UNSAT; no core promised
+                # the formula alone is SAT, so the assumptions did it
+                assert core, (seed, clauses, assumptions)
+                assert set(core) <= set(assumptions), (seed, core, assumptions)
+                assert not _brute_force_sat(
+                    list(clauses) + [[lit] for lit in core], num_vars
+                ), (seed, clauses, core)
+                cores_checked += 1
+        assert cores_checked >= 10  # the sweep genuinely exercised cores
+
+    def test_solver_reusable_after_assumption_unsat(self):
+        """Failed assumptions must not poison later assumption-free solves."""
+        for seed in range(40):
+            rng = random.Random(3000 + seed)
+            num_vars = rng.randint(2, MAX_VARS)
+            clauses = _random_cnf(
+                rng, num_vars=num_vars, num_clauses=num_vars * 2
+            )
+            expected = _brute_force_sat(clauses, num_vars)
+            solver = SatSolver()
+            for clause in clauses:
+                solver.add_clause(clause)
+            for _ in range(3):
+                variable = rng.randint(1, num_vars)
+                solver.solve([variable])
+                solver.solve([-variable])
+                assert solver.solve() == expected, (seed, clauses)

@@ -31,7 +31,7 @@ def test_fig8g_scaling(once):
     for row in rows:
         by_prop.setdefault(row.prop, []).append(row)
     # every property completes, runtime grows with size
-    for prop, prop_rows in by_prop.items():
+    for prop_rows in by_prop.values():
         assert prop_rows[-1].seconds < 300
     # the richer the property, the costlier the largest instance
     biggest = {p: max(r.seconds for r in rs) for p, rs in by_prop.items()}

@@ -1,0 +1,42 @@
+"""Static analysis: problem linting, patch conflicts, plan audits.
+
+Three passes over synthesis inputs/outputs, none of which run a model
+checker:
+
+* :func:`analyze_problem` — per-class reachability closure over the
+  endpoint configurations, with sound ``infeasible``-family diagnostics;
+* :func:`analyze_patch` — static conflict detection for
+  :class:`~repro.net.delta.ProblemPatch` deltas against their base;
+* :func:`audit_plan` — structural verification of synthesized plans.
+
+All passes report :class:`Diagnostic` records aggregated into the
+versioned ``repro-analysis/1`` document (:class:`AnalysisReport`), and
+:func:`static_infeasibility` is the engine's opt-in preflight hook
+(``SynthesisOptions.preflight``).
+"""
+
+from repro.analysis.diagnostics import (
+    ANALYSIS_SCHEMA,
+    DIAGNOSTIC_CODES,
+    AnalysisReport,
+    Diagnostic,
+    TargetReport,
+)
+from repro.analysis.patch import analyze_patch
+from repro.analysis.plan_audit import audit_plan
+from repro.analysis.problem import analyze_problem, static_infeasibility
+from repro.analysis.reachability import ClassClosure, class_closure
+
+__all__ = [
+    "ANALYSIS_SCHEMA",
+    "DIAGNOSTIC_CODES",
+    "AnalysisReport",
+    "ClassClosure",
+    "Diagnostic",
+    "TargetReport",
+    "analyze_patch",
+    "analyze_problem",
+    "audit_plan",
+    "class_closure",
+    "static_infeasibility",
+]

@@ -1,0 +1,150 @@
+"""The patch analyzer: static conflict detection for ``ProblemPatch`` deltas.
+
+Flags conflicts between a patch and its base *before* the engine resolves
+the delta: removing links the base configurations forward over, retargeting
+switches or classes the base does not know, replacement specs that do not
+parse.  When the patch applies cleanly the resolved problem is returned too
+(and can be handed to the problem linter), so a streaming controller can
+vet a whole churn trace without ever entering the solver.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, TargetReport
+from repro.analysis.problem import analyze_problem
+from repro.errors import ParseError
+from repro.ltl.parser import parse
+from repro.net.delta import ProblemPatch
+from repro.net.failures import links_used
+from repro.net.serialize import Problem
+
+
+def analyze_patch(
+    base: Problem,
+    patch: ProblemPatch,
+    target: str = "patch",
+    lint_resolved: bool = False,
+) -> Tuple[TargetReport, Optional[Problem]]:
+    """Analyze ``patch`` against ``base``.
+
+    Returns ``(report, resolved)``: ``resolved`` is the patched problem when
+    the patch applies, else ``None``.  With ``lint_resolved`` the problem
+    linter's diagnostics for the patched problem are appended to the same
+    report, so one call vets both the edit and its outcome.
+    """
+    report = TargetReport(target=target, kind="patch")
+    diags = report.diagnostics
+    topology = base.topology
+
+    if patch.is_empty():
+        diags.append(Diagnostic("RA107", "info", "patch is empty: no edits to apply"))
+
+    used = {frozenset(pair) for pair in links_used(topology, base.init)}
+    used |= {frozenset(pair) for pair in links_used(topology, base.final)}
+    for a, b in patch.links_remove:
+        if not (topology.has_node(a) and topology.has_node(b) and topology.are_adjacent(a, b)):
+            diags.append(
+                Diagnostic(
+                    "RA101",
+                    "error",
+                    f"patch removes link {a!r}-{b!r}, which is not in the base topology",
+                    family="parse",
+                )
+            )
+        elif frozenset((a, b)) in used:
+            diags.append(
+                Diagnostic(
+                    "RA103",
+                    "warn",
+                    f"patch removes link {a!r}-{b!r}, which a base configuration "
+                    "forwards over (traffic will drop unless tables change too)",
+                )
+            )
+
+    removed = {frozenset(pair) for pair in patch.links_remove}
+    for entry in patch.links_add:
+        a, b = entry[0], entry[1]
+        if a == b:
+            diags.append(
+                Diagnostic(
+                    "RA102", "error", f"patch adds a self-link on {a!r}", family="parse"
+                )
+            )
+        elif (
+            topology.has_node(a)
+            and topology.has_node(b)
+            and topology.are_adjacent(a, b)
+            and frozenset((a, b)) not in removed
+        ):
+            diags.append(
+                Diagnostic(
+                    "RA102",
+                    "error",
+                    f"patch adds link {a!r}-{b!r}, but those nodes are already adjacent",
+                    family="parse",
+                )
+            )
+
+    for label, tables in (("init", patch.init_tables), ("final", patch.final_tables)):
+        for switch in sorted(tables, key=str):
+            if not topology.has_node(switch) and not any(
+                switch in entry[:2] for entry in patch.links_add
+            ):
+                diags.append(
+                    Diagnostic(
+                        "RA104",
+                        "warn",
+                        f"patch {label} table targets {switch!r}, which is not in the "
+                        "base topology",
+                    )
+                )
+
+    base_classes = {tc.name for tc in base.ingresses}
+    for name, hosts in patch.ingresses.items():
+        if name not in base_classes:
+            diags.append(
+                Diagnostic(
+                    "RA106",
+                    "error",
+                    f"patch retargets unknown traffic class {name!r}",
+                    family="parse",
+                )
+            )
+        for host in hosts:
+            if not topology.has_node(host) or not topology.is_host(host):
+                diags.append(
+                    Diagnostic(
+                        "RA106",
+                        "error",
+                        f"patch ingress for class {name!r} names {host!r}, which is not "
+                        "a host of the base topology",
+                        family="parse",
+                    )
+                )
+
+    if patch.spec is not None:
+        try:
+            parse(patch.spec)
+        except ParseError as err:
+            diags.append(
+                Diagnostic(
+                    "RA105", "error", f"patch spec does not parse: {err}", family="parse"
+                )
+            )
+
+    resolved: Optional[Problem] = None
+    try:
+        resolved = patch.apply_to(base)
+    except ParseError as err:
+        if not report.errors:
+            # resolution failed for a reason no targeted check predicted
+            diags.append(
+                Diagnostic("RA100", "error", f"patch does not apply: {err}", family="parse")
+            )
+
+    if resolved is not None and lint_resolved:
+        diags.extend(analyze_problem(resolved, target=target).diagnostics)
+
+    return report, resolved

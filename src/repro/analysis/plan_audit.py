@@ -1,0 +1,152 @@
+"""The plan auditor: structural verification of synthesized plans.
+
+Checks an :class:`~repro.synthesis.plan.UpdatePlan` against its problem
+*without* a model checker: every command must touch a switch the topology
+knows, name a traffic class the problem declares, agree with the plan's
+granularity, install exactly the final table, cover every unit the
+init→final diff requires exactly once, and place waits where they separate
+work.  The unit universe is computed by the same function the synthesizer
+uses (:func:`repro.synthesis.search._compute_units`), so the auditor and
+the search can never disagree about what a plan must update.
+
+This is an independent safety net: the model checker validates *semantics*
+(every intermediate configuration satisfies the spec), the auditor validates
+*shape* — a plan that passes both is safe to hand to a controller.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, TargetReport
+from repro.net.commands import Flush, Incr, RuleGranUpdate, SwitchUpdate, Wait, is_update
+from repro.net.serialize import Problem
+from repro.synthesis.plan import UpdatePlan
+from repro.synthesis.search import _compute_units
+
+
+def audit_plan(problem: Problem, plan: UpdatePlan, target: str = "plan") -> TargetReport:
+    """Structurally audit ``plan`` against ``problem``."""
+    report = TargetReport(target=target, kind="plan")
+    diags = report.diagnostics
+    topology = problem.topology
+    class_names = {tc.name for tc in problem.ingresses}
+
+    covered: List[Tuple] = []
+    seen: Set[Tuple] = set()
+    updates_since_wait = 0
+    any_update = False
+    for index, command in enumerate(plan.commands):
+        if isinstance(command, (Wait, Incr, Flush)):
+            if not any_update or updates_since_wait == 0:
+                kind = "leading" if not any_update else "consecutive"
+                diags.append(
+                    Diagnostic(
+                        "RA206",
+                        "warn",
+                        f"command {index}: {kind} wait separates no updates",
+                    )
+                )
+            updates_since_wait = 0
+            continue
+        if not is_update(command):
+            continue
+        any_update = True
+        updates_since_wait += 1
+        switch = command.switch
+        if not topology.has_node(switch) or not topology.is_switch(switch):
+            diags.append(
+                Diagnostic(
+                    "RA201",
+                    "error",
+                    f"command {index} updates {switch!r}, which is not a switch of "
+                    "the topology",
+                )
+            )
+            continue
+        if isinstance(command, SwitchUpdate):
+            if plan.granularity != "switch":
+                diags.append(
+                    Diagnostic(
+                        "RA203",
+                        "error",
+                        f"command {index} is a switch update in a "
+                        f"{plan.granularity}-granularity plan",
+                    )
+                )
+            unit: Tuple = (switch,)
+        else:  # RuleGranUpdate
+            if plan.granularity != "rule":
+                diags.append(
+                    Diagnostic(
+                        "RA203",
+                        "error",
+                        f"command {index} is a rule-granularity update in a "
+                        f"{plan.granularity}-granularity plan",
+                    )
+                )
+            if command.tc.name not in class_names:
+                diags.append(
+                    Diagnostic(
+                        "RA202",
+                        "error",
+                        f"command {index} names traffic class {command.tc.name!r}, "
+                        "which the problem does not declare",
+                    )
+                )
+            unit = (switch, command.tc.name)
+        if unit in seen:
+            diags.append(
+                Diagnostic(
+                    "RA204",
+                    "error",
+                    f"command {index} updates unit {unit!r} a second time",
+                )
+            )
+        else:
+            seen.add(unit)
+            covered.append(unit)
+        if command.table != problem.final.table(switch):
+            diags.append(
+                Diagnostic(
+                    "RA205",
+                    "error",
+                    f"command {index} installs a table on {switch!r} that is not the "
+                    "final configuration's table",
+                )
+            )
+    if any_update and updates_since_wait == 0 and plan.commands:
+        diags.append(
+            Diagnostic(
+                "RA206",
+                "warn",
+                f"command {len(plan.commands) - 1}: trailing wait separates no updates",
+            )
+        )
+
+    # coverage: the plan must update exactly the init→final diff units
+    required = _compute_units(
+        problem.init, problem.final, list(problem.ingresses), plan.granularity
+    )
+    required_set = {unit if isinstance(unit, tuple) else (unit,) for unit in required}
+    missing = sorted(required_set - seen, key=str)
+    for unit in missing:
+        diags.append(
+            Diagnostic(
+                "RA205",
+                "error",
+                f"plan never updates unit {unit!r}, so the final configuration is "
+                "not installed",
+            )
+        )
+    extra = sorted(seen - required_set, key=str)
+    for unit in extra:
+        diags.append(
+            Diagnostic(
+                "RA205",
+                "error",
+                f"plan updates unit {unit!r}, which the init-to-final diff does not "
+                "require",
+            )
+        )
+    return report

@@ -1,0 +1,165 @@
+"""Per-class graph-closure reachability over a static configuration.
+
+This is the cheap relation the problem linter runs on: the *node-level
+projection* of the Kripke structure (:mod:`repro.kripke.structure`) for one
+traffic class, computed by plain graph closure with no labeling and no model
+checking.  The transition relation is shared with the Kripke builder —
+:func:`repro.net.config.next_hops` from the ingress attachments, a drop sink
+wherever a location has no hops — so a node appears in the closure *iff*
+some Kripke trace of that class visits it.  That equivalence is what makes
+the linter's infeasibility verdicts sound (see :mod:`repro.analysis.problem`)
+and is enforced by the differential test in ``tests/test_analysis.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.net.config import Configuration, next_hops
+from repro.net.fields import TrafficClass
+from repro.net.topology import NodeId, Port, Topology
+
+#: a location is a (node, in-port) pair, exactly a Kripke ``loc`` state
+Location = Tuple[NodeId, Optional[Port]]
+
+
+@dataclass(frozen=True)
+class ClassClosure:
+    """Everything one traffic class can reach under one configuration.
+
+    ``nodes`` is the full set of visited nodes — ingress switches, transit
+    switches, delivery hosts, and drop sites — i.e. every node some trace of
+    the class is *at* at some position.  ``loop`` carries one forwarding
+    cycle (as a node sequence) when the configuration loops this class,
+    which the Kripke builder would reject with
+    :class:`~repro.errors.ForwardingLoopError`.
+    """
+
+    tc: TrafficClass
+    nodes: FrozenSet[NodeId]
+    delivered: FrozenSet[NodeId]
+    drop_sites: Tuple[Location, ...]
+    loop: Optional[Tuple[NodeId, ...]]
+    _parents: Dict[Location, Optional[Location]]
+
+    @property
+    def dropped(self) -> bool:
+        return bool(self.drop_sites)
+
+    def path_to(self, node: NodeId) -> Optional[List[NodeId]]:
+        """An ingress-to-``node`` witness path (nodes only), if one exists.
+
+        Used to render human-readable certificates ("H1 -> S1 -> S3"); the
+        path is one concrete trace prefix, not necessarily the shortest.
+        """
+        target: Optional[Location] = None
+        for loc in self._parents:
+            if loc[0] == node:
+                target = loc
+                break
+        if target is None:
+            return None
+        path: List[NodeId] = []
+        cursor: Optional[Location] = target
+        while cursor is not None:
+            path.append(cursor[0])
+            cursor = self._parents[cursor]
+        path.reverse()
+        return path
+
+
+def class_closure(
+    topology: Topology,
+    config: Configuration,
+    tc: TrafficClass,
+    ingress_hosts: Sequence[NodeId],
+) -> ClassClosure:
+    """Depth-first closure of class ``tc`` from its ingress attachments.
+
+    Raises :class:`~repro.errors.TopologyError` if an ingress host is not
+    attached — callers (the linter) surface that as an ``RA001`` diagnostic
+    before ever computing a closure.
+    """
+    parents: Dict[Location, Optional[Location]] = {}
+    nodes = set()
+    delivered = set()
+    drop_sites: List[Location] = []
+    loop: Optional[Tuple[NodeId, ...]] = None
+    on_stack: List[Location] = []
+    on_stack_set = set()
+
+    seeds: List[Location] = []
+    for host in ingress_hosts:
+        # Kripke initial states are the attachment switch ports — the
+        # ingress host itself is *not* a state, so it joins the closure
+        # only if some trace delivers back to it.
+        sw, pt = topology.attachment(host)  # TopologyError if unattached
+        seeds.append((sw, pt))
+
+    # iterative DFS so deep chains don't hit the recursion limit; DFS (not
+    # BFS) because forwarding loops are exactly the back edges
+    for seed in seeds:
+        if seed in parents:
+            continue
+        stack: List[Tuple[Location, Optional[Location], int]] = [(seed, None, 0)]
+        while stack:
+            loc, parent, child_index = stack.pop()
+            node, port = loc
+            if child_index == 0:
+                if loc in parents:
+                    continue
+                parents[loc] = parent
+                nodes.add(node)
+                on_stack.append(loc)
+                on_stack_set.add(loc)
+            hops = next_hops(topology, config, node, tc, port)
+            if not hops:
+                # no matching rule / unwired port: the Kripke drop sink
+                drop_sites.append(loc)
+            advanced = False
+            for index in range(child_index, len(hops)):
+                next_node, next_port, _out_tc = hops[index]
+                if topology.is_host(next_node):
+                    delivered.add(next_node)
+                    nodes.add(next_node)
+                    continue
+                child = (next_node, next_port)
+                if child in on_stack_set:
+                    if loop is None:
+                        cycle_start = on_stack.index(child)
+                        loop = tuple(entry[0] for entry in on_stack[cycle_start:])
+                    continue
+                if child in parents:
+                    continue
+                stack.append((loc, parent, index + 1))
+                stack.append((child, loc, 0))
+                advanced = True
+                break
+            if not advanced:
+                # post-order: loc fully explored
+                popped = on_stack.pop()
+                on_stack_set.discard(popped)
+
+    return ClassClosure(
+        tc=tc,
+        nodes=frozenset(nodes),
+        delivered=frozenset(delivered),
+        drop_sites=tuple(drop_sites),
+        loop=loop,
+        _parents=parents,
+    )
+
+
+def closure_or_none(
+    topology: Topology,
+    config: Configuration,
+    tc: TrafficClass,
+    ingress_hosts: Sequence[NodeId],
+) -> Optional[ClassClosure]:
+    """:func:`class_closure`, or ``None`` when an ingress is unattached."""
+    try:
+        return class_closure(topology, config, tc, ingress_hosts)
+    except TopologyError:
+        return None

@@ -1,0 +1,181 @@
+"""Per-class specification obligations for the problem linter.
+
+The checker evaluates one spec over Kripke states of *every* class, but
+:class:`~repro.ltl.atoms.FieldIs` atoms are total per class — ``tc.get``
+either equals the tested value or it doesn't — so for a fixed class the
+spec *specializes* to an equivalent formula with every field atom replaced
+by ``true``/``false`` and simplified away.  That is how multi-class specs
+like ``(src=HA => F at(HB)) & (src=HB => F at(HA))`` reduce, per class, to
+the one clause that guards it.
+
+From the specialized formula we extract two sound, node-level obligations:
+
+* :func:`required_nodes` — nodes **every** satisfying trace must visit
+  (``F at(w)``-style obligations; intersection under ``|``, union under
+  ``&``);
+* :func:`forbidden_nodes` — nodes **no** satisfying trace may visit, plus a
+  "may never drop" flag (``G !at(w)`` / ``G !dropped`` shapes).
+
+Both are deliberately conservative: when a formula shape is not understood
+the obligation set is empty and the linter simply proves nothing.  The
+linter combines them with the reachability closure
+(:mod:`repro.analysis.reachability`) to certify infeasibility.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.ltl.atoms import At, AtPort, Dropped, FieldIs
+from repro.ltl.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Ff,
+    Formula,
+    Next,
+    NotProp,
+    Or,
+    Prop,
+    Release,
+    Tt,
+    Until,
+    conj,
+    disj,
+)
+from repro.net.fields import TrafficClass
+from repro.net.topology import NodeId
+
+
+def specialize(formula: Formula, tc: TrafficClass) -> Formula:
+    """``formula`` with every field atom decided for class ``tc``.
+
+    Exact, not approximate: ``FieldIs.holds`` depends only on the class, so
+    substitution plus the smart-constructor simplifications yields a formula
+    equivalent to the original over every trace of class ``tc``.
+    """
+    if isinstance(formula, (Tt, Ff)):
+        return formula
+    if isinstance(formula, Prop):
+        if isinstance(formula.atom, FieldIs):
+            return TRUE if tc.get(formula.atom.field) == formula.atom.value else FALSE
+        return formula
+    if isinstance(formula, NotProp):
+        if isinstance(formula.atom, FieldIs):
+            return FALSE if tc.get(formula.atom.field) == formula.atom.value else TRUE
+        return formula
+    if isinstance(formula, And):
+        return conj(specialize(formula.left, tc), specialize(formula.right, tc))
+    if isinstance(formula, Or):
+        return disj(specialize(formula.left, tc), specialize(formula.right, tc))
+    if isinstance(formula, Next):
+        sub = specialize(formula.sub, tc)
+        # traces are infinite (sinks self-loop), so X true == true, X false == false
+        if isinstance(sub, (Tt, Ff)):
+            return sub
+        return Next(sub)
+    if isinstance(formula, Until):
+        left = specialize(formula.left, tc)
+        right = specialize(formula.right, tc)
+        if isinstance(right, Tt):
+            return TRUE  # satisfied immediately
+        if isinstance(right, Ff):
+            return FALSE  # the promise can never be kept
+        if isinstance(left, Ff):
+            return right  # no slack: right must hold now
+        return Until(left, right)
+    if isinstance(formula, Release):
+        left = specialize(formula.left, tc)
+        right = specialize(formula.right, tc)
+        if isinstance(right, Tt):
+            return TRUE
+        if isinstance(right, Ff):
+            return FALSE  # right already fails at position 0
+        if isinstance(left, Tt):
+            return right  # released immediately: only position 0 constrained
+        return Release(left, right)
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def required_nodes(formula: Formula) -> FrozenSet[NodeId]:
+    """Nodes every trace satisfying ``formula`` must visit at some position.
+
+    Sound under-approximation: ``at`` atoms require their node; conjunction
+    unions, disjunction intersects; ``X``/``U``/``R`` pass the obligation of
+    the sub-formula that must eventually (or initially) hold.  Anything else
+    contributes nothing.
+    """
+    if isinstance(formula, Prop):
+        if isinstance(formula.atom, At):
+            return frozenset((formula.atom.node,))
+        if isinstance(formula.atom, AtPort):
+            return frozenset((formula.atom.node,))
+        return frozenset()
+    if isinstance(formula, And):
+        return required_nodes(formula.left) | required_nodes(formula.right)
+    if isinstance(formula, Or):
+        return required_nodes(formula.left) & required_nodes(formula.right)
+    if isinstance(formula, Next):
+        return required_nodes(formula.sub)
+    if isinstance(formula, (Until, Release)):
+        # U: right holds at some suffix; R: right holds at position 0.
+        # Either way the trace visits right's required nodes.
+        return required_nodes(formula.right)
+    return frozenset()
+
+
+def forbidden_nodes(formula: Formula) -> Tuple[FrozenSet[NodeId], bool]:
+    """``(nodes, forbid_drop)``: what no satisfying trace may ever touch.
+
+    Only the ``G``-shape ``Release(false, body)`` yields global obligations;
+    within the body, :func:`_state_avoid` reads off the states the invariant
+    excludes (``!at(w)`` → node ``w``; ``!dropped`` → any drop sink).
+    """
+    if isinstance(formula, Release) and isinstance(formula.left, Ff):
+        return _state_avoid(formula.right)
+    if isinstance(formula, And):
+        left_nodes, left_drop = forbidden_nodes(formula.left)
+        right_nodes, right_drop = forbidden_nodes(formula.right)
+        return left_nodes | right_nodes, left_drop or right_drop
+    if isinstance(formula, Or):
+        left_nodes, left_drop = forbidden_nodes(formula.left)
+        right_nodes, right_drop = forbidden_nodes(formula.right)
+        return left_nodes & right_nodes, left_drop and right_drop
+    return frozenset(), False
+
+
+def _state_avoid(formula: Formula) -> Tuple[FrozenSet[NodeId], bool]:
+    """States at which ``formula`` is certainly false, as avoid-obligations."""
+    if isinstance(formula, NotProp):
+        if isinstance(formula.atom, At):
+            return frozenset((formula.atom.node,)), False
+        if isinstance(formula.atom, Dropped):
+            return frozenset(), True
+        return frozenset(), False
+    if isinstance(formula, And):
+        left_nodes, left_drop = _state_avoid(formula.left)
+        right_nodes, right_drop = _state_avoid(formula.right)
+        return left_nodes | right_nodes, left_drop or right_drop
+    if isinstance(formula, Or):
+        left_nodes, left_drop = _state_avoid(formula.left)
+        right_nodes, right_drop = _state_avoid(formula.right)
+        return left_nodes & right_nodes, left_drop and right_drop
+    return frozenset(), False
+
+
+def atom_nodes(formula: Formula) -> FrozenSet[NodeId]:
+    """Every node an ``at``/``at-port`` atom of ``formula`` mentions."""
+    from repro.ltl.syntax import atoms_of
+
+    found = set()
+    for atom in atoms_of(formula):
+        if isinstance(atom, (At, AtPort)):
+            found.add(atom.node)
+    return frozenset(found)
+
+
+def field_atoms(formula: Formula) -> FrozenSet[FieldIs]:
+    """Every field-test atom of ``formula``."""
+    from repro.ltl.syntax import atoms_of
+
+    return frozenset(atom for atom in atoms_of(formula) if isinstance(atom, FieldIs))

@@ -95,6 +95,7 @@ def options_to_dict(options: SynthesisOptions) -> Dict[str, Any]:
         "memoize": options.memoize,
         "shards": options.shards,
         "use_plan_cache": options.use_plan_cache,
+        "preflight": options.preflight,
     }
 
 
@@ -125,7 +126,7 @@ def options_from_dict(
     known = {
         "checker", "granularity", "remove_waits", "use_counterexamples",
         "use_early_termination", "use_reachability_heuristic", "timeout",
-        "portfolio", "memoize", "shards", "use_plan_cache",
+        "portfolio", "memoize", "shards", "use_plan_cache", "preflight",
     }
     unknown = set(data) - known
     if unknown:
@@ -172,6 +173,7 @@ def options_from_dict(
         memoize=_require_bool(data, "memoize", base.memoize),
         shards=shards,
         use_plan_cache=_require_bool(data, "use_plan_cache", base.use_plan_cache),
+        preflight=_require_bool(data, "preflight", base.preflight),
     )
 
 

@@ -52,6 +52,13 @@ Subcommands:
   status is 0.  With ``--server URL`` the batch routes through
   :class:`~repro.service.client.ReproClient` to a running ``repro serve``
   instead of an in-process engine — same JSONL output, same exit codes.
+* ``analyze [PROBLEM.json ...] [--suite NAME]`` — statically lint problems
+  (:mod:`repro.analysis`): per-class reachability over both endpoint
+  configurations, spec vacuity, dead rules, unreachable switches, and
+  sound infeasibility certificates — no model checking.  ``--json`` emits
+  the ``repro-analysis/1`` document; error-level diagnostics map onto the
+  shared exit-code taxonomy (statically-proven infeasible → 2, parse
+  problems → 4, other errors → 1).
 * ``corpus --suite NAME`` — generate a deterministic scenario corpus
   (:mod:`repro.scenarios`) in the ``batch`` JSONL format.
 * ``bench --suite NAME`` — run a scenario suite through the service engine
@@ -411,6 +418,7 @@ class BatchJob:
     problem: Optional["Problem"] = None
     base_id: Optional[str] = None
     patch: Optional["ProblemPatch"] = None
+    lineno: int = 0  # 1-based source line, for path:lineno error messages
 
 
 def _load_batch_jobs(path: str) -> "List[BatchJob]":
@@ -468,14 +476,23 @@ def _load_batch_jobs(path: str) -> "List[BatchJob]":
                 except ReproError as err:
                     raise ParseError(f"{path}:{lineno}: {err}") from err
                 jobs.append(
-                    BatchJob(job_id, timeout, granularity, base_id=base_id, patch=patch)
+                    BatchJob(
+                        job_id,
+                        timeout,
+                        granularity,
+                        base_id=base_id,
+                        patch=patch,
+                        lineno=lineno,
+                    )
                 )
                 continue
             try:
                 problem = problem_from_dict(data)
             except (ReproError, KeyError, TypeError, ValueError) as err:
                 raise ParseError(f"{path}:{lineno}: bad problem: {err}") from err
-            jobs.append(BatchJob(job_id, timeout, granularity, problem=problem))
+            jobs.append(
+                BatchJob(job_id, timeout, granularity, problem=problem, lineno=lineno)
+            )
     finally:
         if handle is not sys.stdin:
             handle.close()
@@ -497,6 +514,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         portfolio=args.portfolio or (),
         memoize=not args.no_memo,
         shards=args.shards,
+        preflight=args.preflight,
     )
     if args.server:
         # thin-client mode: the scheduler (and its --workers/--cache-dir
@@ -546,8 +564,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             base_view = views.get(job.base_id)
             if base_view is None:
                 raise ParseError(
-                    f"batch delta {job.job_id!r} references unknown base id "
-                    f"{job.base_id!r} (deltas must follow their base line)"
+                    f"{args.problems}:{job.lineno}: batch delta {job.job_id!r} "
+                    f"references unknown base id {job.base_id!r} "
+                    "(deltas must follow their base line)"
                 )
             engine.result(base_view.job_id)
             views[job.job_id] = engine.submit_delta(
@@ -581,8 +600,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             base_job = submitted.get(job.base_id)
             if base_job is None:
                 raise ParseError(
-                    f"batch delta {job.job_id!r} references unknown base id "
-                    f"{job.base_id!r} (deltas must follow their base line)"
+                    f"{args.problems}:{job.lineno}: batch delta {job.job_id!r} "
+                    f"references unknown base id {job.base_id!r} "
+                    "(deltas must follow their base line)"
                 )
             engine.result(base_job.job_id)  # cache the base plan first
             submitted[job.job_id] = engine.submit_delta(
@@ -604,6 +624,58 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         json.dump(engine.metrics_dict(), sys.stderr, indent=2)
         sys.stderr.write("\n")
     return EXIT_FAILURE if errored else EXIT_OK
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import AnalysisReport, Diagnostic, TargetReport, analyze_problem
+
+    if not args.problems and not args.suite:
+        raise ParseError("analyze needs problem files or --suite NAME")
+    report = AnalysisReport()
+    if args.suite:
+        from repro.scenarios.corpus import generate_corpus, sample_records
+
+        records = sample_records(
+            generate_corpus(args.suite, quick=args.quick, base_seed=args.seed),
+            args.limit,
+        )
+        for record in records:
+            report.targets.append(
+                analyze_problem(record.problem, target=record.scenario_id)
+            )
+    for path in args.problems:
+        try:
+            problem = load_problem(path)
+        except (OSError, ReproError) as err:
+            # keep analyzing the remaining targets; the load failure is
+            # itself a parse-family diagnostic on this one
+            report.targets.append(
+                TargetReport(
+                    target=path,
+                    kind="problem",
+                    diagnostics=[
+                        Diagnostic("RA000", "error", str(err), family="parse")
+                    ],
+                )
+            )
+            continue
+        report.targets.append(analyze_problem(problem, target=path))
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for target in report.targets:
+            if not target.diagnostics:
+                print(f"{target.target}: ok")
+                continue
+            for diag in target.diagnostics:
+                print(f"{target.target}: {diag.render()}")
+        totals = report.totals()
+        print(
+            f"{totals['targets']} target(s): {totals['error']} error(s), "
+            f"{totals['warn']} warning(s), {totals['info']} info"
+        )
+    return report.exit_code()
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -1173,11 +1245,38 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist the plan cache to this directory")
     p_batch.add_argument("--no-memo", action="store_true",
                          help="disable the cross-candidate verdict memo")
+    p_batch.add_argument("--preflight", action="store_true",
+                         help="statically fast-fail provably-infeasible jobs "
+                              "before search (repro.analysis; verdict-preserving)")
     p_batch.add_argument("--no-plans", action="store_true",
                          help="omit plan bodies from the output stream")
     p_batch.add_argument("--stats", action="store_true",
                          help="print service metrics to stderr when done")
     p_batch.set_defaults(fn=_cmd_batch)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="statically lint problems (reachability, spec vacuity, dead rules)",
+    )
+    p_analyze.add_argument(
+        "problems", nargs="*", help="problem JSON files (synthesize format)"
+    )
+    p_analyze.add_argument(
+        "--suite", help="analyze a scenario corpus instead of files"
+    )
+    p_analyze.add_argument(
+        "--quick", action="store_true", help="shrink suite parameters (smoke-sized)"
+    )
+    p_analyze.add_argument(
+        "--seed", type=int, default=0, help="corpus base seed (default 0)"
+    )
+    p_analyze.add_argument(
+        "--limit", type=int, default=None, help="analyze at most N suite scenarios"
+    )
+    p_analyze.add_argument(
+        "--json", action="store_true", help="emit the repro-analysis/1 document"
+    )
+    p_analyze.set_defaults(fn=_cmd_analyze)
 
     p_corpus = sub.add_parser(
         "corpus", help="generate a scenario corpus in the batch JSONL format"

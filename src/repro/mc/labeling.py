@@ -140,7 +140,7 @@ class LabelEngine:
         self.evals += 1
         mask = 0
         bit = 1
-        for i, (op, a, b) in enumerate(self._program):
+        for op, a, b in self._program:
             if op == _OP_TRUE:
                 value = True
             elif op == _OP_FALSE:

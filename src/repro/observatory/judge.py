@@ -313,7 +313,7 @@ def run_judge(
             }
         )
 
-    for backend, totals in backend_totals.items():
+    for totals in backend_totals.values():
         totals["seconds"] = round(totals["seconds"], 6)
     document: Dict[str, Any] = {
         "schema": JUDGE_SCHEMA,

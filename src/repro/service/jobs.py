@@ -63,6 +63,13 @@ class SynthesisOptions:
     memo): load generators turn it off to force real synthesis on repeat
     traffic.  Excluded from the identity for the same reason as
     ``memoize`` — it changes how a plan is obtained, never which plan.
+    ``preflight`` runs the static problem linter
+    (:func:`repro.analysis.static_infeasibility`) on cache-miss groups
+    before scheduling any search: a statically-*proven* infeasible job
+    settles immediately with the certificate as its message and zero model
+    checks.  Excluded from the identity because the linter is sound —
+    it only fast-fails jobs the solver would also report infeasible, so
+    verdicts (and cached plans) are identical either way.
     """
 
     checker: str = "incremental"
@@ -76,6 +83,7 @@ class SynthesisOptions:
     memoize: bool = True
     shards: int = 1
     use_plan_cache: bool = True
+    preflight: bool = False
 
     def backends(self) -> Tuple[str, ...]:
         """The checker backends this job will try (portfolio or singleton)."""

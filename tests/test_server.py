@@ -571,7 +571,7 @@ class TestCliFrontEnds:
         from repro.net.serialize import problem_to_dict
 
         docs = []
-        for index, record in enumerate(smoke_subset(3)):
+        for record in smoke_subset(3):
             doc = problem_to_dict(record.problem)
             doc["id"] = record.scenario_id
             doc["granularity"] = record.granularity

@@ -46,7 +46,7 @@ def load_records(path: str) -> Dict[str, Dict[str, Any]]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as err:
-                raise SystemExit(f"{path}:{lineno}: bad JSON: {err}")
+                raise SystemExit(f"{path}:{lineno}: bad JSON: {err}") from err
             job_id = record.get("id", f"line-{lineno}")
             if job_id in records:
                 raise SystemExit(f"{path}:{lineno}: duplicate job id {job_id!r}")

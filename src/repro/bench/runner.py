@@ -150,6 +150,19 @@ def run_suite(
                 )
             if stats.shards:
                 row["shards"] = stats.shards
+            if record.perturbation == "robust":
+                # dataset robustness axis: quantify the plan's single-link
+                # failure blast radius alongside its timings
+                from repro.synthesis.robust import robustness_report
+
+                problem = record.problem
+                row["robustness"] = robustness_report(
+                    problem.topology,
+                    problem.init,
+                    result.plan,
+                    problem.ingresses,
+                    problem.spec,
+                ).summary()
         rows.append(row)
     wall = time.perf_counter() - start
     rows.sort(key=lambda row: row["id"])
@@ -189,6 +202,10 @@ def run_suite(
             "cache_hits": sum(1 for row in rows if row["cached"]),
             "model_checks": sum(row.get("model_checks", 0) for row in rows),
             "memo_pruned": sum(row.get("memo_pruned", 0) for row in rows),
+            "robust_probed": sum(1 for row in rows if "robustness" in row),
+            "fully_robust": sum(
+                1 for row in rows if row.get("robustness", {}).get("fully_robust")
+            ),
         },
         "service": service.metrics_dict(),
         "scenarios": rows,

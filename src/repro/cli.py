@@ -60,7 +60,18 @@ Subcommands:
   shared exit-code taxonomy (statically-proven infeasible → 2, parse
   problems → 4, other errors → 1).
 * ``corpus --suite NAME`` — generate a deterministic scenario corpus
-  (:mod:`repro.scenarios`) in the ``batch`` JSONL format.
+  (:mod:`repro.scenarios`) in the ``batch`` JSONL format.  ``--suite
+  dataset:DIR`` replays a built dataset directory instead.
+* ``dataset build|list|verify`` — the versioned dataset registry
+  (:mod:`repro.datasets`): ``build`` ingests topology sources (builtin
+  zoo, synthetic zoo-scale WANs, ``--gml-dir`` directories of Topology
+  Zoo GML), derives role-keyed specs validated with the static analyzer,
+  and writes ``problems.jsonl`` plus a sealed ``repro-dataset/1``
+  manifest; ``verify`` recomputes every content hash and fails on drift;
+  ``list`` summarizes the datasets under a directory.  Built datasets run
+  through ``batch``/``bench``/``analyze``/``judge`` as ``dataset:DIR``
+  suites, and their ``robust``-perturbation rows carry a single-link
+  failure robustness summary on the result line.
 * ``bench --suite NAME`` — run a scenario suite through the service engine
   and write a schema-versioned ``BENCH_<suite>.json`` (per-scenario wall
   time, model-checker calls, cache hits, plan shape, verdict-memo
@@ -114,6 +125,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
@@ -255,6 +267,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
     result = checker.full_check()
     check_seconds = time_module.perf_counter() - check_start
     which = "final" if args.final else "initial"
+    robustness = None
+    if args.robust:
+        # probe the checked configuration under every single-link failure
+        # (an empty plan has exactly one stage: the configuration itself)
+        from repro.synthesis.plan import UpdatePlan
+        from repro.synthesis.robust import robustness_report
+
+        robustness = robustness_report(
+            problem.topology,
+            config,
+            UpdatePlan(commands=[]),
+            problem.ingresses,
+            problem.spec,
+        )
     if args.json:
         # machine-readable verdict, mirroring what `synthesize --json`
         # emits for plans (used by the CI server smoke test)
@@ -274,17 +300,42 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 "total_seconds": round(build_seconds + check_seconds, 6),
             },
         }
+        if robustness is not None:
+            document["robustness"] = robustness.summary()
+            document["robustness"]["findings"] = [
+                {
+                    "link": list(finding.link),
+                    "ok": finding.ok,
+                }
+                for finding in robustness.findings
+            ]
         json.dump(document, sys.stdout, indent=2)
         sys.stdout.write("\n")
         return EXIT_OK if result.ok else EXIT_FAILURE
+
+    def _print_robustness() -> None:
+        if robustness is None:
+            return
+        digest = robustness.summary()
+        print(
+            f"robustness: {digest['probes']} single-link probe(s), "
+            f"survival {digest['survival_rate'] * 100:.1f}%, "
+            f"{digest['fragile_links']} fragile link(s)"
+        )
+        for finding in robustness.findings:
+            if not finding.ok:
+                print(f"  fail {finding.link[0]}-{finding.link[1]} -> VIOLATES")
+
     if result.ok:
         print(f"OK: the {which} configuration satisfies {problem.spec_text!r}")
+        _print_robustness()
         return EXIT_OK
     print(f"VIOLATION: the {which} configuration violates {problem.spec_text!r}")
     if result.counterexample:
         print("counterexample trace:")
         for state in result.counterexample:
             print(f"  {state}")
+    _print_robustness()
     return EXIT_FAILURE
 
 
@@ -419,6 +470,10 @@ class BatchJob:
     base_id: Optional[str] = None
     patch: Optional["ProblemPatch"] = None
     lineno: int = 0  # 1-based source line, for path:lineno error messages
+    # lines tagged robust (a top-level "robust": true, or dataset rows with
+    # meta.perturbation == "robust") get a RobustnessReport summary attached
+    # to their result line after synthesis
+    robust: bool = False
 
 
 def _load_batch_jobs(path: str) -> "List[BatchJob]":
@@ -459,6 +514,10 @@ def _load_batch_jobs(path: str) -> "List[BatchJob]":
                     f"{path}:{lineno}: 'granularity' must be 'switch' or "
                     f"'rule', got {granularity!r}"
                 )
+            meta = data.get("meta")
+            robust = bool(data.get("robust")) or (
+                isinstance(meta, dict) and meta.get("perturbation") == "robust"
+            )
             if "base" in data:
                 base_id = data.get("base")
                 if not isinstance(base_id, str) or not base_id:
@@ -491,7 +550,14 @@ def _load_batch_jobs(path: str) -> "List[BatchJob]":
             except (ReproError, KeyError, TypeError, ValueError) as err:
                 raise ParseError(f"{path}:{lineno}: bad problem: {err}") from err
             jobs.append(
-                BatchJob(job_id, timeout, granularity, problem=problem, lineno=lineno)
+                BatchJob(
+                    job_id,
+                    timeout,
+                    granularity,
+                    problem=problem,
+                    lineno=lineno,
+                    robust=robust,
+                )
             )
     finally:
         if handle is not sys.stdin:
@@ -612,10 +678,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 job_id=job.job_id,
                 timeout=job.timeout,
             )
+    robust_jobs = {
+        job.job_id: job for job in jobs if job.robust and job.problem is not None
+    }
     errored = False
     for result in engine.stream():
         errored = errored or result.status.value == "error"
-        json.dump(result.to_dict(include_plan=not args.no_plans), sys.stdout)
+        doc = result.to_dict(include_plan=not args.no_plans)
+        robust_job = robust_jobs.get(result.job_id)
+        if robust_job is not None and result.ok and result.plan is not None:
+            # the robustness axis: quantify the plan's single-link-failure
+            # blast radius and carry the digest on the result line
+            from repro.synthesis.robust import robustness_report
+
+            problem = robust_job.problem
+            doc["robustness"] = robustness_report(
+                problem.topology,
+                problem.init,
+                result.plan,
+                problem.ingresses,
+                problem.spec,
+            ).summary()
+        json.dump(doc, sys.stdout)
         sys.stdout.write("\n")
         sys.stdout.flush()
     if not args.server:
@@ -860,6 +944,85 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.datasets import (
+        build_dataset,
+        dataset_suite_name,
+        list_datasets,
+        verify_dataset,
+    )
+
+    if args.dataset_cmd == "build":
+        sources = args.source or ["builtin", "synthetic"]
+        out_dir = args.out or os.path.join("datasets", args.name)
+        result = build_dataset(
+            args.name,
+            sources,
+            out_dir,
+            gml_dir=args.gml_dir or "",
+            synthetic_count=args.synthetic_count,
+            seed=args.seed,
+            quick=args.quick,
+        )
+        manifest = result.manifest
+        if args.json:
+            json.dump(manifest, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+            return EXIT_OK
+        counts = manifest["counts"]
+        print(f"dataset {manifest['name']!r} v{manifest['version']} -> {out_dir}")
+        print(
+            f"  topologies: {counts['topologies_ingested']} ingested, "
+            f"{counts['topologies_covered']} covered"
+        )
+        perturbations = manifest["distributions"]["perturbations"]
+        pert_text = ", ".join(f"{k} {v}" for k, v in sorted(perturbations.items()))
+        print(f"  problems: {counts['problems']} ({pert_text})")
+        for stage in ("ingest", "derivation"):
+            dropped = manifest["drops"][stage]
+            total = sum(dropped.values())
+            detail = ", ".join(f"{k} {v}" for k, v in sorted(dropped.items()) if v)
+            print(f"  {stage} drops: {total}" + (f" ({detail})" if detail else ""))
+        print(f"  manifest_hash: {manifest['manifest_hash']}")
+        print(f"  run it: repro batch <(repro corpus --suite {dataset_suite_name(out_dir)})")
+        return EXIT_OK
+    if args.dataset_cmd == "list":
+        rows = list_datasets(args.root)
+        if args.json:
+            json.dump(rows, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+            return EXIT_OK
+        if not rows:
+            print(f"no datasets under {args.root!r}")
+            return EXIT_OK
+        for row in rows:
+            if "error" in row:
+                print(f"{row['directory']}: ERROR {row['error']}")
+            else:
+                print(
+                    f"{row['directory']}: {row['name']} v{row['version']} — "
+                    f"{row['problems']} problems over {row['topologies']} "
+                    f"topologies [{row['manifest_hash']}]"
+                )
+        return EXIT_OK
+    # verify: recompute content hashes and report drift
+    findings = verify_dataset(args.directory)
+    if args.json:
+        json.dump(
+            {"directory": args.directory, "ok": not findings, "findings": findings},
+            sys.stdout,
+            indent=2,
+            sort_keys=True,
+        )
+        sys.stdout.write("\n")
+    elif findings:
+        for finding in findings:
+            print(f"{args.directory}: {finding}")
+    else:
+        print(f"{args.directory}: ok")
+    return EXIT_OK if not findings else EXIT_FAILURE
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.runner import (
         compare_runs,
@@ -1081,6 +1244,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--final", action="store_true",
                          help="check the final instead of the initial configuration")
     p_check.add_argument("--checker", default="incremental", choices=CHECKERS)
+    p_check.add_argument("--robust", action="store_true",
+                         help="additionally probe the checked configuration "
+                              "under every single-link failure and report "
+                              "the robustness summary")
     p_check.add_argument("--json", action="store_true",
                          help="emit the verdict (ok flag, counterexample "
                               "trace, backend, timings) as JSON")
@@ -1293,6 +1460,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument("--summary", action="store_true",
                           help="print a coverage summary to stderr")
     p_corpus.set_defaults(fn=_cmd_corpus)
+
+    p_dataset = sub.add_parser(
+        "dataset",
+        help="build, list, and verify reproducible benchmark datasets "
+             "(repro-dataset/1)",
+    )
+    dsub = p_dataset.add_subparsers(dest="dataset_cmd", required=True)
+    d_build = dsub.add_parser(
+        "build", help="ingest topology sources and build a sealed dataset"
+    )
+    d_build.add_argument("--name", default="zoo",
+                         help="dataset name recorded in the manifest "
+                              "(default zoo)")
+    d_build.add_argument("--out", "-o", default=None, metavar="DIR",
+                         help="dataset directory (default datasets/<name>)")
+    d_build.add_argument("--source", action="append", default=None,
+                         choices=["builtin", "synthetic", "gml"],
+                         help="topology source; repeatable (default: "
+                              "builtin + synthetic)")
+    d_build.add_argument("--gml-dir", default=None, metavar="DIR",
+                         help="directory of Topology Zoo .gml files "
+                              "(needed by --source gml)")
+    d_build.add_argument("--synthetic-count", type=int, default=64,
+                         help="synthetic zoo size (default 64; quick caps "
+                              "it at 12)")
+    d_build.add_argument("--seed", type=int, default=0,
+                         help="derivation base seed (default 0)")
+    d_build.add_argument("--quick", action="store_true",
+                         help="CI-sized build (small synthetic zoo)")
+    d_build.add_argument("--json", action="store_true",
+                         help="emit the manifest to stdout")
+    d_build.set_defaults(fn=_cmd_dataset)
+    d_list = dsub.add_parser("list", help="summarize datasets under a directory")
+    d_list.add_argument("root", nargs="?", default="datasets",
+                        help="registry root to scan (default datasets)")
+    d_list.add_argument("--json", action="store_true",
+                        help="emit the summaries as JSON")
+    d_list.set_defaults(fn=_cmd_dataset)
+    d_verify = dsub.add_parser(
+        "verify", help="recompute a dataset's content hashes and fail on drift"
+    )
+    d_verify.add_argument("directory", help="dataset directory to verify")
+    d_verify.add_argument("--json", action="store_true",
+                          help="emit the findings as JSON")
+    d_verify.set_defaults(fn=_cmd_dataset)
 
     p_bench = sub.add_parser(
         "bench", help="run a scenario-suite benchmark / compare two BENCH runs"

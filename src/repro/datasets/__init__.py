@@ -1,0 +1,74 @@
+"""Versioned dataset registry and ingestion pipeline (``repro dataset``).
+
+Turns topology sources — the builtin zoo, synthetic zoo-scale WANs, and
+local GML directories — into reproducible benchmark datasets: role-aware
+auto-derived specifications, statically validated at build time, sealed
+under a ``repro-dataset/1`` manifest whose content hashes make drift
+detectable (``repro dataset verify``) and builds byte-for-byte
+reproducible.  Built datasets plug into the corpus/batch/bench/judge
+pipelines as ``dataset:DIR`` suites.
+"""
+
+from repro.datasets.build import (
+    BuildResult,
+    build_dataset,
+    dataset_suite_name,
+    list_datasets,
+    load_dataset_records,
+)
+from repro.datasets.derive import (
+    SPEC_KINDS,
+    Derivation,
+    DerivedProblem,
+    DropRecord,
+    derive_problems,
+)
+from repro.datasets.manifest import (
+    DATASET_SCHEMA,
+    MANIFEST_FILE,
+    PROBLEMS_FILE,
+    load_manifest,
+    manifest_hash,
+    verify_dataset,
+)
+from repro.datasets.roles import (
+    ROLES,
+    articulation_points,
+    classify_roles,
+    role_counts,
+    switches_with_role,
+)
+from repro.datasets.sources import (
+    SOURCE_NAMES,
+    SourceEntry,
+    collect_sources,
+    topology_content_hash,
+)
+
+__all__ = [
+    "BuildResult",
+    "DATASET_SCHEMA",
+    "Derivation",
+    "DerivedProblem",
+    "DropRecord",
+    "MANIFEST_FILE",
+    "PROBLEMS_FILE",
+    "ROLES",
+    "SOURCE_NAMES",
+    "SPEC_KINDS",
+    "SourceEntry",
+    "articulation_points",
+    "build_dataset",
+    "classify_roles",
+    "collect_sources",
+    "dataset_suite_name",
+    "derive_problems",
+    "list_datasets",
+    "load_dataset_records",
+    "load_manifest",
+    "manifest_hash",
+    "role_counts",
+    "switches_with_role",
+    "topology_content_hash",
+    "verify_dataset",
+]

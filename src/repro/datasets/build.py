@@ -1,0 +1,300 @@
+"""Dataset builds: sources -> derived problems -> manifest + JSONL on disk.
+
+``build_dataset`` is the one entry point behind ``repro dataset build``:
+it ingests the requested sources (:mod:`repro.datasets.sources`), derives
+role-keyed validated problems per topology (:mod:`repro.datasets.derive`),
+and writes a dataset directory — ``problems.jsonl`` in the batch-service
+problem format plus a sealed ``repro-dataset/1`` manifest
+(:mod:`repro.datasets.manifest`).
+
+Built datasets are first-class suites: ``generate_corpus("dataset:DIR")``
+loads the records back (see :func:`load_dataset_records`), so ``repro
+batch``, ``repro bench``, ``repro analyze``, and the judge all run over a
+dataset exactly as they run over the synthetic corpus.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.datasets.derive import Derivation, DerivedProblem, derive_problems
+from repro.datasets.manifest import (
+    DATASET_SCHEMA,
+    MANIFEST_FILE,
+    PROBLEMS_FILE,
+    line_hash,
+    load_manifest,
+    seal_manifest,
+    write_manifest,
+)
+from repro.datasets.sources import collect_sources
+from repro.errors import ReproError
+from repro.net.serialize import problem_from_dict
+from repro.scenarios.corpus import ScenarioRecord, _tier, corpus_to_jsonl
+
+
+@dataclass
+class BuildResult:
+    """What one ``repro dataset build`` produced."""
+
+    directory: str
+    manifest: Dict[str, Any]
+    records: List[ScenarioRecord] = field(default_factory=list)
+
+    @property
+    def problems(self) -> int:
+        return len(self.records)
+
+    @property
+    def topologies(self) -> int:
+        return int(self.manifest["counts"]["topologies_covered"])
+
+
+def _to_record(derived: DerivedProblem, dataset_name: str, seed: int) -> ScenarioRecord:
+    return ScenarioRecord(
+        scenario_id=derived.record_id,
+        suite=f"dataset:{dataset_name}",
+        family=derived.source,
+        template=derived.template,
+        perturbation=derived.perturbation,
+        granularity="switch",
+        tier=_tier(derived.switches),
+        seed=seed,
+        # static validation proves the *endpoints* are sound, not that an
+        # update ordering exists — so no feasibility claim is manifested
+        expected="unknown",
+        problem=derived.problem,
+        switches=derived.switches,
+        updating=derived.updating,
+    )
+
+
+def _build_manifest(
+    name: str,
+    sources: List[str],
+    derivations: List[Derivation],
+    records: List[ScenarioRecord],
+    lines: List[str],
+    ingest_drops: Dict[str, int],
+    *,
+    seed: int,
+    quick: bool,
+    synthetic_count: int,
+    gml_dir: str,
+) -> Dict[str, Any]:
+    derivation_drops: Dict[str, int] = {}
+    drop_records: List[Dict[str, str]] = []
+    for derivation in derivations:
+        for drop in derivation.drops:
+            derivation_drops[drop.reason] = derivation_drops.get(drop.reason, 0) + 1
+            drop_records.append(drop.to_dict())
+
+    roles: Dict[str, int] = {}
+    covered = set()
+    by_entry = {d.entry.name: d for d in derivations}
+    for derivation in derivations:
+        if derivation.problems:
+            covered.add(derivation.entry.name)
+            for role, count in derivation.problems[0].roles.items():
+                roles[role] = roles.get(role, 0) + count
+
+    def count_by(key) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for record in records:
+            out[key(record)] = out.get(key(record), 0) + 1
+        return dict(sorted(out.items()))
+
+    sizes = sorted(record.switches for record in records)
+    problems = []
+    for record, line in zip(records, lines):
+        derivation = by_entry[record.scenario_id.split("/")[1]]
+        problems.append(
+            {
+                "id": record.scenario_id,
+                "topology": derivation.entry.name,
+                "source": record.family,
+                "origin": derivation.entry.origin,
+                "template": record.template,
+                "perturbation": record.perturbation,
+                "tier": record.tier,
+                "switches": record.switches,
+                "updating": record.updating,
+                "topology_hash": derivation.entry.content_hash,
+                "sha256": line_hash(line),
+            }
+        )
+    doc: Dict[str, Any] = {
+        "schema": DATASET_SCHEMA,
+        "name": name,
+        "version": 1,
+        "seed": seed,
+        "quick": quick,
+        "sources": list(sources),
+        "source_params": {
+            "synthetic_count": synthetic_count,
+            "gml_dir": gml_dir or None,
+        },
+        "counts": {
+            "topologies_ingested": len(derivations),
+            "topologies_covered": len(covered),
+            "problems": len(records),
+        },
+        "drops": {
+            "ingest": dict(sorted(ingest_drops.items())),
+            "derivation": dict(sorted(derivation_drops.items())),
+        },
+        "drop_records": drop_records,
+        "distributions": {
+            "roles": dict(sorted(roles.items())),
+            "sources": count_by(lambda r: r.family),
+            "templates": count_by(lambda r: r.template),
+            "perturbations": count_by(lambda r: r.perturbation),
+            "tiers": count_by(lambda r: r.tier),
+            "switches": {
+                "min": sizes[0] if sizes else 0,
+                "max": sizes[-1] if sizes else 0,
+                "mean": round(sum(sizes) / len(sizes), 2) if sizes else 0.0,
+            },
+        },
+        "problems": problems,
+    }
+    return seal_manifest(doc)
+
+
+def build_dataset(
+    name: str,
+    sources: List[str],
+    out_dir: str,
+    *,
+    gml_dir: str = "",
+    synthetic_count: int = 64,
+    seed: int = 0,
+    quick: bool = False,
+) -> BuildResult:
+    """Build dataset ``name`` into ``out_dir`` and return the result.
+
+    Deterministic end to end: the same ``(sources, gml files,
+    synthetic_count, seed, quick)`` inputs produce byte-identical
+    ``problems.jsonl`` and ``manifest.json`` (no timestamps anywhere), so
+    two builds of the same inputs share one ``manifest_hash``.
+    """
+    if quick:
+        synthetic_count = min(synthetic_count, 12)
+    entries, ingest_drops = collect_sources(
+        sources, gml_dir=gml_dir, synthetic_count=synthetic_count, seed=seed
+    )
+    derivations = [derive_problems(entry, seed) for entry in entries]
+    records = [
+        _to_record(derived, name, seed)
+        for derivation in derivations
+        for derived in derivation.problems
+    ]
+    jsonl = corpus_to_jsonl(records)
+    lines = [line for line in jsonl.split("\n") if line]
+    manifest = _build_manifest(
+        name,
+        sources,
+        derivations,
+        records,
+        lines,
+        ingest_drops,
+        seed=seed,
+        quick=quick,
+        synthetic_count=synthetic_count,
+        gml_dir=gml_dir,
+    )
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, PROBLEMS_FILE), "w") as handle:
+        handle.write(jsonl)
+    write_manifest(manifest, out_dir)
+    return BuildResult(directory=out_dir, manifest=manifest, records=records)
+
+
+def load_dataset_records(directory: str) -> List[ScenarioRecord]:
+    """Rehydrate a built dataset's records for corpus/bench/batch reuse."""
+    manifest = load_manifest(directory)
+    path = os.path.join(directory, PROBLEMS_FILE)
+    if not os.path.isfile(path):
+        raise ReproError(f"{directory!r} has no {PROBLEMS_FILE}")
+    records: List[ScenarioRecord] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise ReproError(f"{path}:{lineno}: invalid JSON ({err})") from err
+            meta = doc.get("meta", {})
+            records.append(
+                ScenarioRecord(
+                    scenario_id=str(doc.get("id", f"line{lineno}")),
+                    suite=str(meta.get("suite", f"dataset:{manifest['name']}")),
+                    family=str(meta.get("family", "dataset")),
+                    template=str(meta.get("template", "reachability")),
+                    perturbation=str(meta.get("perturbation", "baseline")),
+                    granularity=str(doc.get("granularity", "switch")),
+                    tier=str(meta.get("tier", "small")),
+                    seed=int(meta.get("seed", 0)),
+                    expected=str(meta.get("expected", "unknown")),
+                    problem=problem_from_dict(doc),
+                    switches=int(meta.get("switches", 0)),
+                    updating=int(meta.get("updating", 0)),
+                )
+            )
+    return records
+
+
+def list_datasets(root: str) -> List[Dict[str, Any]]:
+    """Manifest summaries of every dataset directory under ``root``.
+
+    A dataset directory is any direct child of ``root`` (or ``root``
+    itself) containing a ``manifest.json`` with the right schema;
+    unreadable manifests are reported with an ``error`` field rather
+    than skipped.
+    """
+    candidates: List[str] = []
+    if os.path.isfile(os.path.join(root, MANIFEST_FILE)):
+        candidates.append(root)
+    elif os.path.isdir(root):
+        for entry in sorted(os.listdir(root)):
+            child = os.path.join(root, entry)
+            if os.path.isfile(os.path.join(child, MANIFEST_FILE)):
+                candidates.append(child)
+    rows: List[Dict[str, Any]] = []
+    for directory in candidates:
+        row: Dict[str, Any] = {"directory": directory}
+        try:
+            manifest = load_manifest(directory)
+        except ReproError as err:
+            row["error"] = str(err)
+        else:
+            row.update(
+                {
+                    "name": manifest.get("name"),
+                    "version": manifest.get("version"),
+                    "topologies": manifest.get("counts", {}).get("topologies_covered"),
+                    "problems": manifest.get("counts", {}).get("problems"),
+                    "manifest_hash": manifest.get("manifest_hash", "")[:12],
+                }
+            )
+        rows.append(row)
+    return rows
+
+
+def dataset_suite_name(directory: str) -> str:
+    """The suite string batch/bench accept for a built dataset."""
+    return f"dataset:{directory}"
+
+
+__all__ = [
+    "BuildResult",
+    "build_dataset",
+    "dataset_suite_name",
+    "list_datasets",
+    "load_dataset_records",
+]

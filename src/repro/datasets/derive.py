@@ -1,0 +1,321 @@
+"""Role-aware spec derivation: topology -> validated synthesis problems.
+
+For each ingested topology the deriver builds one update-synthesis problem
+per spec kind, keyed on the node roles of :mod:`repro.datasets.roles`
+rather than one template for everything:
+
+* ``reachability`` — traffic from an edge site must reach a host behind a
+  **gateway** (the flow's two disjoint paths end at the gateway's uplink,
+  then funnel through the gateway itself);
+* ``waypoint`` — the flow's destination switch is drawn from the **core**,
+  so the derived waypoint property pins the update to keep traffic flowing
+  through the core while the path flips;
+* ``isolation`` — source and destination are an **edge pair**, and the spec
+  forbids a switch off both paths while preserving connectivity.
+
+The concrete spec text comes from :mod:`repro.scenarios.templates` — the
+same template appliers the synthetic corpus uses — so derived problems
+serialize and round-trip identically to corpus problems.
+
+Every derivation is validated at build time with
+:func:`repro.analysis.problem.analyze_problem`: statically-infeasible
+problems (a required node unreachable, a loop, a forbidden node reachable)
+and vacuous ones (spec atoms naming absent nodes, guards matching no
+class, classes with no ingress) are **dropped and counted** — the manifest
+records every drop with its reason, never silently.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.problem import analyze_problem
+from repro.datasets.roles import classify_roles, role_counts, switches_with_role
+from repro.datasets.sources import SourceEntry
+from repro.ltl.parser import parse
+from repro.net.config import Configuration
+from repro.net.fields import TrafficClass
+from repro.net.serialize import Problem
+from repro.net.topology import NodeId, Topology
+from repro.scenarios.templates import apply_template
+from repro.topo.diamond import DiamondScenario
+
+#: spec kinds derived per topology, in derivation order
+SPEC_KINDS = ("reachability", "waypoint", "isolation")
+
+#: diagnostics that make a derivation *vacuous* (spec says nothing real)
+_VACUITY_CODES = ("RA002", "RA003", "RA005")
+
+#: candidate (src, dst) pairs tried per spec kind before giving up
+_MAX_ATTEMPTS = 24
+
+
+@dataclass
+class DerivedProblem:
+    """One validated problem derived from a dataset topology."""
+
+    topology_name: str
+    source: str
+    template: str
+    perturbation: str  # "baseline" | "robust"
+    problem: Problem
+    spec_text: str
+    roles: Dict[str, int]
+    switches: int
+    updating: int
+
+    @property
+    def record_id(self) -> str:
+        return f"dataset/{self.topology_name}/{self.template}/{self.perturbation}"
+
+
+@dataclass
+class DropRecord:
+    """One counted (never silent) derivation drop."""
+
+    topology_name: str
+    template: str
+    reason: str  # no_diamond | template_inapplicable | static_infeasible | vacuous | invalid
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "topology": self.topology_name,
+            "template": self.template,
+            "reason": self.reason,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class Derivation:
+    """Everything derivation produced for one source entry."""
+
+    entry: SourceEntry
+    problems: List[DerivedProblem] = field(default_factory=list)
+    drops: List[DropRecord] = field(default_factory=list)
+
+
+def _mix(*parts: str) -> int:
+    return zlib.crc32(":".join(parts).encode("utf-8")) & 0x7FFFFFFF
+
+
+def _attach_host(topo: Topology, switch: NodeId) -> NodeId:
+    host = f"H_{switch}"
+    if not topo.has_node(host):
+        topo.add_host(host)
+        topo.add_link(switch, host)
+    return host
+
+
+def _scenario(
+    base: Topology,
+    src: NodeId,
+    dst: NodeId,
+    name: str,
+    via: Optional[NodeId] = None,
+) -> Optional[DiamondScenario]:
+    """A single-class diamond between switches ``src`` and ``dst``.
+
+    The two configurations route over switch-disjoint paths; ``via`` (the
+    gateway funnel of the reachability recipe) extends both paths through
+    one extra shared switch before the destination host.  Returns ``None``
+    when no disjoint pair exists — the caller tries the next candidate.
+    """
+    topo = base.copy()
+    paths = topo.disjoint_paths(src, dst)
+    # the first path needs a real interior: for adjacent pairs the "second
+    # disjoint path" is the same direct edge again, and the derived update
+    # would be a no-op (init == final)
+    if len(paths) != 2 or len(paths[0]) < 3 or paths[0] == paths[1]:
+        return None
+    tail: List[NodeId] = [via] if via is not None else []
+    host_a = _attach_host(topo, src)
+    host_b = _attach_host(topo, via if via is not None else dst)
+    init_path = [host_a] + list(paths[0]) + tail + [host_b]
+    final_path = [host_a] + list(paths[1]) + tail + [host_b]
+    tc = TrafficClass.make(f"f_{host_a}_{host_b}", src=host_a, dst=host_b)
+    init = Configuration.from_paths(topo, {tc: init_path})
+    final = Configuration.from_paths(topo, {tc: final_path})
+    return DiamondScenario(
+        name=name,
+        topology=topo,
+        init=init,
+        final=final,
+        spec=parse("true"),  # replaced by the template's concrete syntax
+        ingresses={tc: [host_a]},
+        init_paths={tc: init_path},
+        final_paths={tc: final_path},
+    )
+
+
+def _role_ladder(roles: Dict[NodeId, str], order: Sequence[str]) -> List[NodeId]:
+    """Switches in role-preference order (each role's switches sorted)."""
+    out: List[NodeId] = []
+    for role in order:
+        out.extend(switches_with_role(roles, role))
+    return out
+
+
+def _candidate_pairs(
+    kind: str,
+    topology: Topology,
+    roles: Dict[NodeId, str],
+    rng: random.Random,
+) -> List[Tuple[NodeId, NodeId, Optional[NodeId]]]:
+    """Role-keyed ``(src, dst, via)`` candidates for one spec kind."""
+    pairs: List[Tuple[NodeId, NodeId, Optional[NodeId]]] = []
+    seen = set()
+
+    def push(src: NodeId, dst: NodeId, via: Optional[NodeId] = None) -> None:
+        if src != dst and src != via and (src, dst, via) not in seen:
+            seen.add((src, dst, via))
+            pairs.append((src, dst, via))
+
+    if kind == "reachability":
+        # reach a host behind a gateway: diamond to its uplink, funnel through
+        gateways = switches_with_role(roles, "gateway")
+        rng.shuffle(gateways)
+        sources = _role_ladder(roles, ("edge", "aggregation", "core"))
+        rng.shuffle(sources)
+        for gateway in gateways[:_MAX_ATTEMPTS]:
+            uplinks = [
+                n for n in topology.neighbors(gateway) if topology.is_switch(n)
+            ]
+            if not uplinks:
+                continue
+            uplink = uplinks[0]
+            for src in sources[:4]:
+                if src not in (gateway, uplink):
+                    push(src, uplink, gateway)
+        # gateway-free meshes: plain reachability between distant-ish roles
+        for src in sources[:6]:
+            for dst in reversed(sources[-6:]):
+                push(src, dst)
+    elif kind == "waypoint":
+        # destination in the core: the shared penultimate switch — the
+        # waypoint the template pins — is a core switch by construction
+        cores = _role_ladder(roles, ("core", "aggregation"))
+        rng.shuffle(cores)
+        sources = _role_ladder(roles, ("edge", "gateway", "aggregation"))
+        rng.shuffle(sources)
+        for dst in cores[:_MAX_ATTEMPTS]:
+            for src in sources[:4]:
+                push(src, dst)
+    elif kind == "isolation":
+        # edge pairs: low-degree endpoints leave mesh switches off both
+        # paths, so there is something real to forbid
+        edges = _role_ladder(roles, ("edge", "gateway", "aggregation"))
+        rng.shuffle(edges)
+        for index, src in enumerate(edges[:_MAX_ATTEMPTS]):
+            for dst in edges[index + 1 : index + 4]:
+                push(src, dst)
+    else:  # pragma: no cover - guarded by SPEC_KINDS
+        raise ValueError(f"unknown spec kind {kind!r}")
+    return pairs[:_MAX_ATTEMPTS]
+
+
+def _validate(problem: Problem) -> Tuple[str, str]:
+    """``("", "")`` when the derivation is sound, else ``(reason, detail)``."""
+    try:
+        report = analyze_problem(problem)
+    except Exception as err:  # analyzer crash == underivable problem
+        return "invalid", f"analyzer failed: {err}"
+    for diag in report.errors:
+        if diag.family == "infeasible":
+            return "static_infeasible", f"{diag.code}: {diag.message}"
+    if report.errors:
+        first = report.errors[0]
+        return "invalid", f"{first.code}: {first.message}"
+    for diag in report.diagnostics:
+        if diag.code in _VACUITY_CODES:
+            return "vacuous", f"{diag.code}: {diag.message}"
+    return "", ""
+
+
+def derive_problems(entry: SourceEntry, base_seed: int = 0) -> Derivation:
+    """Derive one validated problem per spec kind for ``entry``.
+
+    Deterministic: candidate order is seeded from the topology's content
+    hash and ``base_seed``, so the same inputs always derive the same
+    problems (the manifest-determinism property test enforces this).
+
+    A ``robust`` duplicate of the first surviving problem is appended —
+    the dataset's link-failure axis: same problem bytes, but tagged so the
+    batch/bench pipelines attach a :class:`~repro.synthesis.robust.RobustnessReport`
+    summary to its synthesized plan.
+    """
+    derivation = Derivation(entry=entry)
+    roles = classify_roles(entry.topology)
+    counts = role_counts(roles)
+    for kind in SPEC_KINDS:
+        rng = random.Random(_mix(entry.content_hash, kind, str(base_seed)))
+        candidates = _candidate_pairs(kind, entry.topology, roles, rng)
+        if not candidates:
+            derivation.drops.append(
+                DropRecord(entry.name, kind, "no_diamond", "no role-eligible pair")
+            )
+            continue
+        scenario = None
+        spec_text: Optional[str] = None
+        last_reason, last_detail = "no_diamond", "no disjoint-path pair found"
+        for src, dst, via in candidates:
+            scenario = _scenario(entry.topology, src, dst, f"{entry.name}/{kind}", via)
+            if scenario is None:
+                continue
+            spec_text = apply_template(kind, scenario)
+            if spec_text is None:
+                last_reason = "template_inapplicable"
+                last_detail = f"template {kind} returned None for {src}->{dst}"
+                scenario = None
+                continue
+            problem = Problem(
+                topology=scenario.topology,
+                ingresses={tc: list(h) for tc, h in scenario.ingresses.items()},
+                init=scenario.init,
+                final=scenario.final,
+                spec=parse(spec_text),
+                spec_text=spec_text,
+            )
+            reason, detail = _validate(problem)
+            if reason:
+                last_reason, last_detail = reason, detail
+                scenario = None
+                continue
+            derivation.problems.append(
+                DerivedProblem(
+                    topology_name=entry.name,
+                    source=entry.source,
+                    template=kind,
+                    perturbation="baseline",
+                    problem=problem,
+                    spec_text=spec_text,
+                    roles=counts,
+                    switches=len(problem.topology.switches),
+                    updating=scenario.units_updating(),
+                )
+            )
+            break
+        if scenario is None:
+            derivation.drops.append(
+                DropRecord(entry.name, kind, last_reason, last_detail)
+            )
+    if derivation.problems:
+        first = derivation.problems[0]
+        derivation.problems.append(
+            DerivedProblem(
+                topology_name=first.topology_name,
+                source=first.source,
+                template=first.template,
+                perturbation="robust",
+                problem=first.problem,
+                spec_text=first.spec_text,
+                roles=first.roles,
+                switches=first.switches,
+                updating=first.updating,
+            )
+        )
+    return derivation

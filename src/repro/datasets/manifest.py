@@ -1,0 +1,129 @@
+"""The ``repro-dataset/1`` manifest: what a built dataset contains, exactly.
+
+A dataset build writes two files into its directory:
+
+* ``problems.jsonl`` — one batch-format problem document per line (byte
+  stable: sorted keys, compact separators), directly consumable by
+  ``repro batch`` / ``repro bench`` / ``repro analyze``;
+* ``manifest.json`` — this module's document: name, version, sources,
+  per-problem provenance and content hashes, role/template/tier/size
+  distributions, and **every** drop counted by reason (ingestion and
+  derivation) — a derivation is never discarded silently.
+
+The manifest carries no timestamps and no absolute paths besides the
+user-supplied provenance strings, so the same inputs produce the same
+bytes; ``manifest_hash`` is a sha256 over the canonical JSON with the hash
+field removed, and :func:`verify_dataset` recomputes both the per-line
+hashes and the manifest hash to detect drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List
+
+from repro.errors import ReproError
+
+#: bump when the manifest document layout changes
+DATASET_SCHEMA = "repro-dataset/1"
+
+#: the two files a dataset directory contains
+MANIFEST_FILE = "manifest.json"
+PROBLEMS_FILE = "problems.jsonl"
+
+
+def line_hash(line: str) -> str:
+    """sha256 of one problems.jsonl line (without its newline)."""
+    return hashlib.sha256(line.rstrip("\n").encode("utf-8")).hexdigest()
+
+
+def manifest_hash(doc: Dict[str, Any]) -> str:
+    """sha256 over the canonical manifest JSON, ``manifest_hash`` excluded."""
+    scrubbed = {key: value for key, value in doc.items() if key != "manifest_hash"}
+    canonical = json.dumps(scrubbed, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def seal_manifest(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Stamp ``manifest_hash``; returns ``doc`` for chaining."""
+    doc["manifest_hash"] = manifest_hash(doc)
+    return doc
+
+
+def write_manifest(doc: Dict[str, Any], directory: str) -> str:
+    path = os.path.join(directory, MANIFEST_FILE)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    return path
+
+
+def load_manifest(directory: str) -> Dict[str, Any]:
+    path = os.path.join(directory, MANIFEST_FILE)
+    if not os.path.isfile(path):
+        raise ReproError(f"{directory!r} has no {MANIFEST_FILE} (not a dataset?)")
+    with open(path) as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            raise ReproError(f"{path}: invalid JSON ({err})") from err
+    if doc.get("schema") != DATASET_SCHEMA:
+        raise ReproError(
+            f"{path}: schema {doc.get('schema')!r} is not {DATASET_SCHEMA!r}"
+        )
+    return doc
+
+
+def verify_dataset(directory: str) -> List[str]:
+    """Drift findings for a built dataset; an empty list means intact.
+
+    Checks, in order: the manifest parses and carries the right schema;
+    its ``manifest_hash`` still matches its own content; ``problems.jsonl``
+    has exactly the manifested lines; and every line's sha256 and ``id``
+    match its manifest entry.
+    """
+    findings: List[str] = []
+    try:
+        doc = load_manifest(directory)
+    except ReproError as err:
+        return [str(err)]
+    expected_hash = doc.get("manifest_hash", "")
+    actual_hash = manifest_hash(doc)
+    if expected_hash != actual_hash:
+        findings.append(
+            f"manifest_hash mismatch: manifest says {expected_hash[:12]}…, "
+            f"content hashes to {actual_hash[:12]}…"
+        )
+    problems_path = os.path.join(directory, PROBLEMS_FILE)
+    if not os.path.isfile(problems_path):
+        findings.append(f"{PROBLEMS_FILE} is missing")
+        return findings
+    with open(problems_path) as handle:
+        lines = [line for line in handle.read().split("\n") if line]
+    manifested = doc.get("problems", [])
+    if len(lines) != len(manifested):
+        findings.append(
+            f"{PROBLEMS_FILE} has {len(lines)} problems, manifest lists "
+            f"{len(manifested)}"
+        )
+    for index, (line, entry) in enumerate(zip(lines, manifested)):
+        actual = line_hash(line)
+        if actual != entry.get("sha256"):
+            findings.append(
+                f"problem {index} ({entry.get('id', '?')}): content hash "
+                f"{actual[:12]}… != manifested {str(entry.get('sha256'))[:12]}…"
+            )
+            continue
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError:
+            findings.append(f"problem {index}: line is not valid JSON")
+            continue
+        if parsed.get("id") != entry.get("id"):
+            findings.append(
+                f"problem {index}: line id {parsed.get('id')!r} != manifested "
+                f"{entry.get('id')!r}"
+            )
+    return findings

@@ -1,0 +1,125 @@
+"""Topology role classification for dataset spec derivation.
+
+Real WAN topologies are not uniform: a handful of high-degree switches
+carry the long-haul mesh while stub sites hang off single uplinks.  The
+dataset pipeline keys its auto-derived specifications on those roles (the
+way graded/role-aware PDL properties quantify over *kinds* of locations,
+not individual ones), so the classifier must be deterministic and cheap:
+
+* ``gateway`` — a stub switch with exactly one switch neighbor (the
+  canonical "site border" of zoo graphs; reachability specs target these);
+* ``core`` — an articulation point of the switch graph, or a switch in the
+  top degree quartile with at least three neighbors (waypoint specs route
+  through these);
+* ``edge`` — a low-degree (≤ 2) non-gateway switch (isolation specs pick
+  their endpoint pairs here);
+* ``aggregation`` — everything else (mid-degree mesh switches).
+
+Every switch receives exactly one role; precedence is gateway > core >
+edge > aggregation so a degree-1 articulation neighbor stays a gateway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.net.topology import NodeId, Topology
+
+#: the role vocabulary, in classification precedence order
+ROLES = ("gateway", "core", "edge", "aggregation")
+
+
+def switch_degrees(topology: Topology) -> Dict[NodeId, int]:
+    """Switch-to-switch degree (host attachments do not count)."""
+    return {
+        switch: sum(
+            1 for peer in topology.neighbors(switch) if topology.is_switch(peer)
+        )
+        for switch in topology.switches
+    }
+
+
+def articulation_points(topology: Topology) -> Set[NodeId]:
+    """Cut vertices of the switch-only graph (iterative Tarjan lowlink).
+
+    A switch whose removal disconnects some pair of other switches; on WAN
+    graphs these are the backbone nodes all stub traffic must cross.
+    """
+    switches = sorted(topology.switches)
+    neighbors = {
+        s: sorted(p for p in topology.neighbors(s) if topology.is_switch(p))
+        for s in switches
+    }
+    index: Dict[NodeId, int] = {}
+    low: Dict[NodeId, int] = {}
+    cuts: Set[NodeId] = set()
+    counter = 0
+    for root in switches:
+        if root in index:
+            continue
+        # stack frames: (node, parent, iterator position over neighbors)
+        stack: List[List] = [[root, None, 0]]
+        index[root] = low[root] = counter
+        counter += 1
+        root_children = 0
+        while stack:
+            node, parent, at = stack[-1]
+            if at < len(neighbors[node]):
+                stack[-1][2] += 1
+                peer = neighbors[node][at]
+                if peer == parent:
+                    continue
+                if peer in index:
+                    low[node] = min(low[node], index[peer])
+                    continue
+                index[peer] = low[peer] = counter
+                counter += 1
+                if node == root:
+                    root_children += 1
+                stack.append([peer, node, 0])
+            else:
+                stack.pop()
+                if stack:
+                    up = stack[-1][0]
+                    low[up] = min(low[up], low[node])
+                    if up != root and low[node] >= index[up]:
+                        cuts.add(up)
+        if root_children > 1:
+            cuts.add(root)
+    return cuts
+
+
+def classify_roles(topology: Topology) -> Dict[NodeId, str]:
+    """Assign every switch exactly one role (see the module docstring)."""
+    degrees = switch_degrees(topology)
+    if not degrees:
+        return {}
+    cuts = articulation_points(topology)
+    ranked = sorted(degrees.values())
+    # top-quartile degree threshold, never below 3 (a triangle is not a core)
+    quartile = ranked[(3 * (len(ranked) - 1)) // 4]
+    core_degree = max(3, quartile)
+    roles: Dict[NodeId, str] = {}
+    for switch, degree in degrees.items():
+        if degree <= 1:
+            roles[switch] = "gateway"
+        elif switch in cuts or degree >= core_degree:
+            roles[switch] = "core"
+        elif degree <= 2:
+            roles[switch] = "edge"
+        else:
+            roles[switch] = "aggregation"
+    return roles
+
+
+def role_counts(roles: Dict[NodeId, str]) -> Dict[str, int]:
+    """Role distribution of one topology, with every role present."""
+    counts = {role: 0 for role in ROLES}
+    for role in roles.values():
+        counts[role] += 1
+    return counts
+
+
+def switches_with_role(roles: Dict[NodeId, str], role: str) -> List[NodeId]:
+    """The switches of one role, sorted for deterministic iteration."""
+    return sorted(s for s, r in roles.items() if r == role)

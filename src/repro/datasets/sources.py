@@ -1,0 +1,163 @@
+"""Dataset sources: where topologies come from, normalized and deduplicated.
+
+Three converters feed the dataset builder, each yielding ``(source, name,
+topology)`` entries:
+
+* ``builtin`` — the hand-encoded real WANs of :data:`repro.topo.zoo.BUILTIN_ZOO`;
+* ``synthetic`` — :func:`repro.topo.zoo.synthetic_zoo` at zoo scale
+  (hundreds of Waxman-style WANs across the zoo's size distribution);
+* ``gml`` — every ``*.gml`` file of a local directory (e.g. a Topology Zoo
+  checkout), parsed with the hardened :func:`repro.topo.gml.parse_gml`.
+
+Normalization strips whitespace from names and skips degenerate graphs
+(fewer than 4 switches or no links — nothing to synthesize over).
+Deduplication is structural: two entries whose switch sets and switch
+adjacencies are identical hash to the same :func:`topology_content_hash`
+and only the first is kept (real zoo snapshots contain the same network
+under several yearly files).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ParseError, ReproError
+from repro.net.topology import Topology
+from repro.topo.gml import parse_gml
+from repro.topo.zoo import builtin_zoo, synthetic_zoo
+
+#: the source names `repro dataset build --source` accepts
+SOURCE_NAMES = ("builtin", "synthetic", "gml")
+
+#: minimum switches for a topology to be worth deriving problems on
+MIN_SWITCHES = 4
+
+
+@dataclass(frozen=True)
+class SourceEntry:
+    """One normalized topology with its provenance."""
+
+    source: str  # "builtin" | "synthetic" | "gml"
+    name: str  # unique within the dataset
+    origin: str  # human-readable provenance (file path, generator id)
+    topology: Topology
+    content_hash: str  # structural hash (see topology_content_hash)
+
+
+def topology_content_hash(topology: Topology) -> str:
+    """A structural sha256 over the switch graph (order-independent).
+
+    Hosts are excluded: sources yield switch-only graphs, and the derivation
+    step attaches hosts later.  Node *names* participate, so two networks
+    with the same shape but different site names are distinct (renaming is a
+    real difference for spec derivation), while re-parsing the same file —
+    or the same network listed twice — collapses to one entry.
+    """
+    digest = hashlib.sha256()
+    for switch in sorted(topology.switches):
+        digest.update(switch.encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(b"\x01")
+    edges = sorted(
+        tuple(sorted((link.node_a, link.node_b)))
+        for link in topology.links
+        if topology.is_switch(link.node_a) and topology.is_switch(link.node_b)
+    )
+    for a, b in edges:
+        digest.update(f"{a}|{b}".encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _sanitize(name: str) -> str:
+    return "".join(ch if ch.isalnum() or ch in "._-" else "_" for ch in name.strip())
+
+
+def _gml_entries(gml_dir: str) -> Iterable[Tuple[str, str, Topology]]:
+    if not os.path.isdir(gml_dir):
+        raise ReproError(f"--gml-dir {gml_dir!r} is not a directory")
+    files = sorted(
+        entry for entry in os.listdir(gml_dir) if entry.lower().endswith(".gml")
+    )
+    if not files:
+        raise ReproError(f"--gml-dir {gml_dir!r} contains no .gml files")
+    for filename in files:
+        path = os.path.join(gml_dir, filename)
+        with open(path, encoding="utf-8", errors="replace") as handle:
+            text = handle.read()
+        try:
+            topology = parse_gml(text)
+        except ParseError as err:
+            # a malformed file is a *drop*, not a crash: the caller counts it
+            yield filename, f"unparseable: {err}", None  # type: ignore[misc]
+            continue
+        yield _sanitize(os.path.splitext(filename)[0]), path, topology
+
+
+def collect_sources(
+    sources: List[str],
+    *,
+    gml_dir: str = "",
+    synthetic_count: int = 64,
+    seed: int = 0,
+) -> Tuple[List[SourceEntry], Dict[str, int]]:
+    """Ingest, normalize, and deduplicate the requested sources.
+
+    Returns the kept entries (stable order: sources in the order requested,
+    entries in each source's own deterministic order) plus ingestion drop
+    counters (``duplicate_topology``, ``degenerate_topology``,
+    ``unparseable_gml``) — every discarded input is counted, never silent.
+    """
+    for source in sources:
+        if source not in SOURCE_NAMES:
+            raise ReproError(
+                f"unknown dataset source {source!r} "
+                f"(choose from {', '.join(SOURCE_NAMES)})"
+            )
+    if not sources:
+        raise ReproError("dataset build needs at least one --source")
+    if "gml" in sources and not gml_dir:
+        raise ReproError("--source gml needs --gml-dir DIR")
+
+    drops = {"duplicate_topology": 0, "degenerate_topology": 0, "unparseable_gml": 0}
+    seen_hashes: Dict[str, str] = {}
+    used_names: Dict[str, int] = {}
+    entries: List[SourceEntry] = []
+
+    def push(source: str, name: str, origin: str, topology: Topology) -> None:
+        if topology is None:
+            drops["unparseable_gml"] += 1
+            return
+        real_links = [
+            link
+            for link in topology.links
+            if topology.is_switch(link.node_a) and topology.is_switch(link.node_b)
+        ]
+        if len(topology.switches) < MIN_SWITCHES or not real_links:
+            drops["degenerate_topology"] += 1
+            return
+        content = topology_content_hash(topology)
+        if content in seen_hashes:
+            drops["duplicate_topology"] += 1
+            return
+        seen_hashes[content] = name
+        count = used_names.get(name, 0)
+        used_names[name] = count + 1
+        if count:
+            name = f"{name}_{count}"
+        entries.append(SourceEntry(source, name, origin, topology, content))
+
+    for source in sources:
+        if source == "builtin":
+            for name, topology in builtin_zoo():
+                push("builtin", _sanitize(name), "repro.topo.zoo.BUILTIN_ZOO", topology)
+        elif source == "synthetic":
+            for name, topology in synthetic_zoo(synthetic_count, seed=seed):
+                push("synthetic", _sanitize(name), f"synthetic_zoo(seed={seed})", topology)
+        else:
+            for name, origin, topology in _gml_entries(gml_dir):
+                push("gml", name, origin, topology)
+    return entries, drops

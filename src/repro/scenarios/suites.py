@@ -13,8 +13,10 @@ from typing import Any, Dict, Tuple
 
 from repro.errors import ReproError
 
-#: perturbations the generator understands
-PERTURBATIONS = ("baseline", "linkfail", "rulegran")
+#: perturbations the generator understands; "robust" rows (emitted by
+#: dataset builds, see repro.datasets) additionally get a single-link
+#: failure RobustnessReport summary attached to their synthesized plan
+PERTURBATIONS = ("baseline", "linkfail", "rulegran", "robust")
 
 
 @dataclass(frozen=True)

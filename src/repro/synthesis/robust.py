@@ -69,6 +69,30 @@ class RobustnessReport:
             return 1.0
         return sum(1 for f in self.findings if f.ok) / len(self.findings)
 
+    def worst_link(self) -> Optional[FailedLink]:
+        """The link whose failure violates the spec at the most stages."""
+        violations: dict = {}
+        for finding in self.findings:
+            if not finding.ok:
+                violations[finding.link] = violations.get(finding.link, 0) + 1
+        if not violations:
+            return None
+        return max(sorted(violations), key=lambda link: violations[link])
+
+    def summary(self) -> dict:
+        """A JSON-ready digest for batch rows and bench documents."""
+        fragile = self.fragile_stages()
+        worst = self.worst_link()
+        return {
+            "probes": len(self.findings),
+            "survival_rate": round(self.survival_rate(), 4),
+            "fully_robust": self.is_fully_robust(),
+            "fragile_stages": fragile,
+            "violating_stages": len(fragile),
+            "fragile_links": len(self.fragile_links()),
+            "worst_link": list(worst) if worst else None,
+        }
+
 
 def robustness_report(
     topology: Topology,

@@ -8,7 +8,7 @@ scenarios the experiments are built from.
 
 from repro.topo.fattree import fat_tree, mini_datacenter
 from repro.topo.smallworld import small_world
-from repro.topo.gml import parse_gml
+from repro.topo.gml import parse_gml, to_gml
 from repro.topo.zoo import builtin_zoo, synthetic_zoo, zoo_topology
 from repro.topo.diamond import (
     DiamondScenario,
@@ -24,6 +24,7 @@ __all__ = [
     "mini_datacenter",
     "small_world",
     "parse_gml",
+    "to_gml",
     "builtin_zoo",
     "synthetic_zoo",
     "zoo_topology",

@@ -4,8 +4,23 @@ The Topology Zoo dataset distributes wide-area network topologies in GML
 (Graph Modelling Language).  This parser handles the subset those files use:
 nested ``key [ ... ]`` records, ``node [ id ... label "..." ]`` and
 ``edge [ source ... target ... ]`` entries, quoted strings, and numeric or
-bare-word values.  Duplicate edges and self-loops (both present in the zoo)
-are skipped.
+bare-word values.
+
+Real zoo files are quirky, and the parser is deliberately tolerant of the
+quirks that actually occur in the wild:
+
+* duplicate edges, reversed duplicates (``directed 1`` graphs list both
+  directions), and self-loops are skipped;
+* ``directed`` / ``multigraph`` flags are accepted (edges are always
+  normalized to one undirected link per switch pair);
+* duplicate node ``id`` entries keep the first declaration;
+* duplicate or numeric ``label`` values are disambiguated / stringified;
+* an edge endpoint id with no ``node`` declaration anywhere in the file
+  materializes an implicit ``n<id>`` switch instead of failing the parse
+  (node records may appear before or after the edges that use them).
+
+:func:`to_gml` is the inverse: it renders a switch-only topology back to
+GML text, so datasets round-trip (see ``tests`` and ``repro.datasets``).
 """
 
 from __future__ import annotations
@@ -116,7 +131,12 @@ def parse_gml(text: str, name_prefix: str = "") -> Topology:
         node_id = node.first("id")
         if not isinstance(node_id, int):
             raise ParseError("GML node without integer id")
+        if node_id in names:
+            # duplicate id declaration (a real zoo quirk): first one wins
+            continue
         label = node.first("label")
+        if isinstance(label, (int, float)):
+            label = str(label)  # numeric labels occur; stringify them
         base = label if isinstance(label, str) and label else f"n{node_id}"
         base = name_prefix + base.replace(" ", "_")
         count = used.get(base, 0)
@@ -133,9 +153,49 @@ def parse_gml(text: str, name_prefix: str = "") -> Topology:
             raise ParseError("GML edge without integer endpoints")
         if source == target:
             continue
-        if source not in names or target not in names:
-            raise ParseError(f"GML edge references unknown node {source}/{target}")
+        for endpoint in (source, target):
+            if endpoint not in names:
+                # an endpoint no node record declares: materialize it
+                name = f"{name_prefix}n{endpoint}"
+                count = used.get(name, 0)
+                used[name] = count + 1
+                if count:
+                    name = f"{name}_{count}"
+                names[endpoint] = name
+                topo.add_switch(name)
         a, b = names[source], names[target]
         if not topo.are_adjacent(a, b):
             topo.add_link(a, b)
     return topo
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def to_gml(topo: Topology, name: str = "") -> str:
+    """Render the switch graph of ``topo`` as a GML document.
+
+    Hosts and their access links are omitted — zoo GML describes the WAN
+    switch fabric only, and that is what :func:`parse_gml` reconstructs.
+    ``parse_gml(to_gml(t))`` yields a topology with the same switch set and
+    the same switch-switch adjacency as ``t``.
+    """
+    switches = sorted(topo.switches)
+    ids = {switch: index for index, switch in enumerate(switches)}
+    lines = ["graph ["]
+    if name:
+        lines.append(f"  label {_quote(name)}")
+    for switch in switches:
+        lines.append(f"  node [\n    id {ids[switch]}\n    label {_quote(switch)}\n  ]")
+    for link in sorted(
+        (link for link in topo.links
+         if topo.is_switch(link.node_a) and topo.is_switch(link.node_b)),
+        key=lambda link: (ids[link.node_a], ids[link.node_b]),
+    ):
+        lines.append(
+            f"  edge [\n    source {ids[link.node_a]}\n"
+            f"    target {ids[link.node_b]}\n  ]"
+        )
+    lines.append("]")
+    return "\n".join(lines) + "\n"

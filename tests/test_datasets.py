@@ -1,0 +1,342 @@
+"""Tests for the dataset registry: roles, sources, derivation, manifests.
+
+The property tests here are the dataset pipeline's contract: every
+auto-derived spec parses and is non-vacuous under the static analyzer, and
+a build is a pure function of its inputs (two builds of the same inputs
+produce identical manifest hashes).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import analyze_problem
+from repro.cli import main
+from repro.datasets import (
+    DATASET_SCHEMA,
+    PROBLEMS_FILE,
+    ROLES,
+    SPEC_KINDS,
+    articulation_points,
+    build_dataset,
+    classify_roles,
+    collect_sources,
+    derive_problems,
+    list_datasets,
+    load_dataset_records,
+    load_manifest,
+    role_counts,
+    topology_content_hash,
+    verify_dataset,
+)
+from repro.errors import ReproError
+from repro.ltl.parser import parse
+from repro.net.topology import Topology
+from repro.scenarios.corpus import corpus_to_jsonl, generate_corpus
+from repro.topo import to_gml
+from repro.topo.zoo import zoo_topology
+
+
+def star_plus_ring():
+    """A ring core with a stub gateway: every role is represented."""
+    topo = Topology()
+    for name in ("c1", "c2", "c3", "c4", "stub"):
+        topo.add_switch(name)
+    topo.add_link("c1", "c2")
+    topo.add_link("c2", "c3")
+    topo.add_link("c3", "c4")
+    topo.add_link("c4", "c1")
+    topo.add_link("c1", "c3")
+    topo.add_link("c2", "stub")
+    return topo
+
+
+class TestRoles:
+    def test_gateway_is_degree_one(self):
+        roles = classify_roles(star_plus_ring())
+        assert roles["stub"] == "gateway"
+
+    def test_articulation_point_is_core(self):
+        roles = classify_roles(star_plus_ring())
+        # c2 is the cut vertex to the stub
+        assert "c2" in articulation_points(star_plus_ring())
+        assert roles["c2"] == "core"
+
+    def test_every_switch_gets_exactly_one_role(self):
+        topo = zoo_topology("abilene")
+        roles = classify_roles(topo)
+        assert set(roles) == set(topo.switches)
+        assert set(roles.values()) <= set(ROLES)
+        counts = role_counts(roles)
+        assert sum(counts.values()) == len(topo.switches)
+        assert set(counts) == set(ROLES)
+
+    def test_chain_interior_all_articulation(self):
+        topo = Topology()
+        for name in ("a", "b", "c", "d"):
+            topo.add_switch(name)
+        topo.add_link("a", "b")
+        topo.add_link("b", "c")
+        topo.add_link("c", "d")
+        assert articulation_points(topo) == {"b", "c"}
+
+
+class TestSources:
+    def test_builtin_and_synthetic(self):
+        entries, drops = collect_sources(["builtin", "synthetic"], synthetic_count=8)
+        assert len(entries) == 12
+        assert all(not v for v in drops.values())
+        assert len({e.name for e in entries}) == len(entries)
+
+    def test_structural_dedup(self):
+        topo = zoo_topology("abilene")
+        assert topology_content_hash(topo) == topology_content_hash(topo.copy())
+
+    def test_gml_dir_ingestion(self, tmp_path):
+        (tmp_path / "one.gml").write_text(to_gml(zoo_topology("abilene")))
+        (tmp_path / "dupe.gml").write_text(to_gml(zoo_topology("abilene")))
+        (tmp_path / "bad.gml").write_text("graph [ node [ id ] ]")
+        entries, drops = collect_sources(["gml"], gml_dir=str(tmp_path))
+        assert [e.name for e in entries] == ["dupe"]  # sorted order: dupe first
+        assert drops["duplicate_topology"] == 1
+        assert drops["unparseable_gml"] == 1
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ReproError):
+            collect_sources(["nope"])
+        with pytest.raises(ReproError):
+            collect_sources(["gml"])  # needs --gml-dir
+
+
+class TestDerivation:
+    def test_specs_parse_and_are_nonvacuous(self):
+        entries, _ = collect_sources(["builtin"])
+        for entry in entries:
+            derivation = derive_problems(entry)
+            assert derivation.problems, entry.name
+            for derived in derivation.problems:
+                parse(derived.spec_text)  # concrete syntax, must parse
+                report = analyze_problem(derived.problem, target=derived.record_id)
+                assert not report.errors, derived.record_id
+                assert derived.problem.spec_text == derived.spec_text
+                assert derived.updating > 0  # a real update, not a no-op
+
+    def test_drops_are_counted_never_silent(self):
+        # a tree has no diamond anywhere: every kind must drop, with reasons
+        topo = Topology()
+        for name in ("a", "b", "c", "d"):
+            topo.add_switch(name)
+        topo.add_link("a", "b")
+        topo.add_link("b", "c")
+        topo.add_link("c", "d")
+        from repro.datasets import SourceEntry
+
+        entry = SourceEntry("builtin", "tree", "test", topo, topology_content_hash(topo))
+        derivation = derive_problems(entry)
+        assert not derivation.problems
+        assert len(derivation.drops) == len(SPEC_KINDS)
+        assert all(d.reason == "no_diamond" for d in derivation.drops)
+
+    def test_robust_duplicate_tags_first_problem(self):
+        entries, _ = collect_sources(["builtin"])
+        derivation = derive_problems(entries[0])
+        robust = [p for p in derivation.problems if p.perturbation == "robust"]
+        assert len(robust) == 1
+        assert robust[0].template == derivation.problems[0].template
+
+    def test_deterministic(self):
+        entries, _ = collect_sources(["builtin"])
+        one = derive_problems(entries[0])
+        two = derive_problems(entries[0])
+        assert [p.record_id for p in one.problems] == [p.record_id for p in two.problems]
+        assert [p.spec_text for p in one.problems] == [p.spec_text for p in two.problems]
+
+
+class TestBuildAndManifest:
+    def build(self, tmp_path, name="t", sub="ds"):
+        return build_dataset(
+            name, ["builtin", "synthetic"], str(tmp_path / sub),
+            synthetic_count=6, seed=0,
+        )
+
+    def test_build_writes_sealed_manifest(self, tmp_path):
+        result = self.build(tmp_path)
+        manifest = load_manifest(result.directory)
+        assert manifest["schema"] == DATASET_SCHEMA
+        assert manifest["counts"]["problems"] == len(result.records)
+        assert manifest["counts"]["topologies_covered"] >= 6
+        # every problem line is hash-manifested, every drop is counted
+        assert len(manifest["problems"]) == len(result.records)
+        derivation_drops = sum(manifest["drops"]["derivation"].values())
+        assert derivation_drops == len(manifest["drop_records"])
+
+    def test_build_is_deterministic(self, tmp_path):
+        one = self.build(tmp_path, sub="one")
+        two = self.build(tmp_path, sub="two")
+        assert one.manifest["manifest_hash"] == two.manifest["manifest_hash"]
+        bytes_one = (tmp_path / "one" / PROBLEMS_FILE).read_bytes()
+        bytes_two = (tmp_path / "two" / PROBLEMS_FILE).read_bytes()
+        assert bytes_one == bytes_two
+
+    def test_verify_passes_then_detects_drift(self, tmp_path):
+        result = self.build(tmp_path)
+        assert verify_dataset(result.directory) == []
+        path = os.path.join(result.directory, PROBLEMS_FILE)
+        lines = open(path).read().splitlines()
+        doc = json.loads(lines[0])
+        doc["granularity"] = "rule"
+        lines[0] = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        findings = verify_dataset(result.directory)
+        assert findings and "content hash" in findings[0]
+
+    def test_verify_detects_manifest_tamper(self, tmp_path):
+        result = self.build(tmp_path)
+        mpath = os.path.join(result.directory, "manifest.json")
+        manifest = json.load(open(mpath))
+        manifest["counts"]["problems"] += 1
+        json.dump(manifest, open(mpath, "w"))
+        assert any("manifest_hash" in f for f in verify_dataset(result.directory))
+
+    def test_list_datasets(self, tmp_path):
+        self.build(tmp_path, name="a", sub="reg/a")
+        self.build(tmp_path, name="b", sub="reg/b")
+        rows = list_datasets(str(tmp_path / "reg"))
+        assert [row["name"] for row in rows] == ["a", "b"]
+
+    def test_records_round_trip_as_suite(self, tmp_path):
+        result = self.build(tmp_path)
+        loaded = load_dataset_records(result.directory)
+        assert corpus_to_jsonl(loaded) == corpus_to_jsonl(result.records)
+        via_suite = generate_corpus(f"dataset:{result.directory}")
+        assert corpus_to_jsonl(via_suite) == corpus_to_jsonl(result.records)
+        assert all(r.expected == "unknown" for r in loaded)
+
+
+class TestCli:
+    def test_build_verify_list(self, tmp_path, capsys):
+        out = str(tmp_path / "ds")
+        assert main([
+            "dataset", "build", "--name", "t", "--out", out, "--quick",
+            "--synthetic-count", "6",
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "manifest_hash" in text
+        assert main(["dataset", "verify", out]) == 0
+        assert "ok" in capsys.readouterr().out
+        assert main(["dataset", "list", str(tmp_path)]) == 0
+        assert "problems over" in capsys.readouterr().out
+
+    def test_verify_fails_on_drift(self, tmp_path, capsys):
+        out = str(tmp_path / "ds")
+        assert main([
+            "dataset", "build", "--out", out, "--quick",
+            "--synthetic-count", "6", "--json",
+        ]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["schema"] == DATASET_SCHEMA
+        with open(os.path.join(out, PROBLEMS_FILE), "a") as handle:
+            handle.write("{}\n")
+        assert main(["dataset", "verify", out, "--json"]) == 1
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["ok"] is False and verdict["findings"]
+
+    def test_batch_attaches_robustness_to_robust_rows(self, tmp_path, capsys):
+        out = str(tmp_path / "ds")
+        main([
+            "dataset", "build", "--out", out, "--quick", "--synthetic-count", "4",
+        ])
+        capsys.readouterr()
+        corpus_path = str(tmp_path / "corpus.jsonl")
+        assert main([
+            "corpus", "--suite", f"dataset:{out}", "-o", corpus_path,
+        ]) == 0
+        assert main(["batch", corpus_path, "--serial", "--no-plans"]) == 0
+        rows = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        jobs = {j["id"]: j for j in (json.loads(l) for l in open(corpus_path))}
+        for row in rows:
+            expect_robust = (
+                jobs[row["id"]]["meta"]["perturbation"] == "robust"
+                and row["status"] == "done"
+            )
+            assert ("robustness" in row) == expect_robust
+            if expect_robust:
+                digest = row["robustness"]
+                assert set(digest) >= {
+                    "probes", "survival_rate", "fully_robust",
+                    "violating_stages", "worst_link",
+                }
+
+    def test_check_robust_flag(self, tmp_path, capsys):
+        problem_path = str(tmp_path / "p.json")
+        assert main(["demo", "fig1-green"]) == 0
+        with open(problem_path, "w") as handle:
+            handle.write(capsys.readouterr().out)
+        assert main(["check", problem_path, "--robust", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "robustness" in document
+        assert document["robustness"]["probes"] >= 1
+        assert main(["check", problem_path, "--robust"]) == 0
+        assert "robustness:" in capsys.readouterr().out
+
+
+class TestDocs:
+    """The docs must cover the dataset surface — enforced, like repro-api/1."""
+
+    REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    def read(self, *parts):
+        return open(os.path.join(self.REPO, *parts)).read()
+
+    def test_api_md_documents_the_manifest_schema(self):
+        doc = self.read("docs", "API.md")
+        assert DATASET_SCHEMA in doc
+        for field_name in (
+            "manifest_hash", "drop_records", "topology_hash",
+            "topologies_ingested", "topologies_covered",
+            "survival_rate", "worst_link",
+        ):
+            assert field_name in doc, f"docs/API.md does not mention {field_name}"
+        for reason in (
+            "duplicate_topology", "degenerate_topology", "unparseable_gml",
+            "no_diamond", "template_inapplicable", "static_infeasible",
+            "vacuous",
+        ):
+            assert reason in doc, f"docs/API.md does not list drop reason {reason}"
+
+    def test_readme_has_dataset_quickstart(self):
+        readme = self.read("README.md")
+        assert "repro dataset build" in readme
+        assert "dataset verify" in readme
+        assert "dataset:" in readme  # datasets plug in as named suites
+        assert "--robust" in readme
+        assert "repro.datasets" in readme  # module map row
+
+    def test_architecture_documents_the_build_flow(self):
+        doc = self.read("docs", "ARCHITECTURE.md")
+        assert "repro.datasets" in doc
+        for stage in ("collect_sources", "classify_roles", "derive_problems",
+                      "build_dataset"):
+            assert stage in doc, f"docs/ARCHITECTURE.md missing stage {stage}"
+
+
+class TestBenchIntegration:
+    def test_bench_robust_rows_carry_summaries(self, tmp_path):
+        from repro.bench.runner import run_suite
+
+        build_dataset(
+            "b", ["builtin"], str(tmp_path / "ds"), seed=0,
+        )
+        document = run_suite(
+            f"dataset:{tmp_path / 'ds'}", quick=False, timeout=60.0
+        )
+        robust_rows = [
+            row for row in document["scenarios"]
+            if row["perturbation"] == "robust" and row["status"] == "done"
+        ]
+        assert robust_rows
+        assert all("robustness" in row for row in robust_rows)
+        totals = document["totals"]
+        assert totals["robust_probed"] == len(robust_rows)
